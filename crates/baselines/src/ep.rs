@@ -1,0 +1,175 @@
+//! The end-to-end baselines `EPdtTSG`, `EPesTSG` and `EPtgTSG`.
+//!
+//! Each baseline builds one of the three upper-bound graphs and then runs
+//! the exhaustive temporal simple path enumeration of `tspg-enum` on it,
+//! unioning the paths into the final `tspG`. Phase timings, search counters
+//! and an approximate memory footprint are reported so that the experiment
+//! harness can reproduce Figs. 5–7.
+
+use crate::{dt_tsg, es_tsg, tg_tsg};
+use std::fmt;
+use std::time::{Duration, Instant};
+use tspg_enum::{naive_tspg, Budget, SearchStats};
+use tspg_graph::{EdgeSet, TemporalGraph, TimeInterval, VertexId};
+
+/// Which upper-bound graph the baseline uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EpAlgorithm {
+    /// `EPdtTSG`: enumeration on the projected graph.
+    DtTsg,
+    /// `EPesTSG`: enumeration on the non-decreasing-walk reduction.
+    EsTsg,
+    /// `EPtgTSG`: enumeration on the strict-ascent (Dijkstra) reduction.
+    TgTsg,
+}
+
+impl EpAlgorithm {
+    /// All three baselines, in the order the paper lists them.
+    pub const ALL: [EpAlgorithm; 3] = [EpAlgorithm::DtTsg, EpAlgorithm::EsTsg, EpAlgorithm::TgTsg];
+
+    /// The paper's name for the baseline.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EpAlgorithm::DtTsg => "EPdtTSG",
+            EpAlgorithm::EsTsg => "EPesTSG",
+            EpAlgorithm::TgTsg => "EPtgTSG",
+        }
+    }
+
+    /// The name of the underlying upper-bound graph construction.
+    pub fn upper_bound_name(&self) -> &'static str {
+        match self {
+            EpAlgorithm::DtTsg => "dtTSG",
+            EpAlgorithm::EsTsg => "esTSG",
+            EpAlgorithm::TgTsg => "tgTSG",
+        }
+    }
+
+    /// Builds this baseline's upper-bound graph.
+    pub fn upper_bound(
+        &self,
+        graph: &TemporalGraph,
+        s: VertexId,
+        t: VertexId,
+        window: TimeInterval,
+    ) -> TemporalGraph {
+        match self {
+            EpAlgorithm::DtTsg => dt_tsg(graph, window),
+            EpAlgorithm::EsTsg => es_tsg(graph, s, t, window),
+            EpAlgorithm::TgTsg => tg_tsg(graph, s, t, window),
+        }
+    }
+}
+
+impl fmt::Display for EpAlgorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The result of one baseline run.
+#[derive(Clone, Debug)]
+pub struct EpResult {
+    /// Which baseline produced this result.
+    pub algorithm: EpAlgorithm,
+    /// Number of edges in the upper-bound graph of stage 1.
+    pub upper_bound_edges: usize,
+    /// The generated temporal simple path graph.
+    pub tspg: EdgeSet,
+    /// Counters of the enumeration stage.
+    pub enumeration: SearchStats,
+    /// Wall-clock time of the upper-bound graph construction.
+    pub upper_bound_elapsed: Duration,
+    /// Wall-clock time of the enumeration stage.
+    pub enumeration_elapsed: Duration,
+    /// Approximate peak bytes: upper-bound graph plus explicitly stored
+    /// paths plus the result (the quantity plotted in Fig. 7).
+    pub approx_bytes: usize,
+}
+
+impl EpResult {
+    /// Total wall-clock time of the run.
+    pub fn total_elapsed(&self) -> Duration {
+        self.upper_bound_elapsed + self.enumeration_elapsed
+    }
+
+    /// `true` if the enumeration finished within budget and the output is
+    /// therefore the exact `tspG`.
+    pub fn is_exact(&self) -> bool {
+        self.enumeration.status.is_complete()
+    }
+}
+
+/// Runs one baseline end to end.
+pub fn run_ep(
+    algorithm: EpAlgorithm,
+    graph: &TemporalGraph,
+    s: VertexId,
+    t: VertexId,
+    window: TimeInterval,
+    budget: &Budget,
+) -> EpResult {
+    let started = Instant::now();
+    let upper_bound = algorithm.upper_bound(graph, s, t, window);
+    let upper_bound_elapsed = started.elapsed();
+
+    let naive = naive_tspg(&upper_bound, s, t, window, budget);
+    let approx_bytes = upper_bound.approx_bytes() + naive.approx_bytes;
+    EpResult {
+        algorithm,
+        upper_bound_edges: upper_bound.num_edges(),
+        tspg: naive.tspg,
+        enumeration: naive.stats,
+        upper_bound_elapsed,
+        enumeration_elapsed: naive.elapsed,
+        approx_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tspg_graph::fixtures::{figure1_expected_tspg_edges, figure1_graph, figure1_query};
+
+    #[test]
+    fn all_baselines_produce_the_exact_tspg_on_the_example() {
+        let g = figure1_graph();
+        let (s, t, w) = figure1_query();
+        let expected = EdgeSet::from_edges(figure1_expected_tspg_edges());
+        for alg in EpAlgorithm::ALL {
+            let out = run_ep(alg, &g, s, t, w, &Budget::unlimited());
+            assert!(out.is_exact(), "{alg} did not finish");
+            assert_eq!(out.tspg, expected, "{alg} produced a wrong tspG");
+            assert!(out.upper_bound_edges >= expected.num_edges());
+            assert!(out.total_elapsed() >= out.upper_bound_elapsed);
+            assert!(out.approx_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn tighter_upper_bounds_never_have_more_edges() {
+        let g = figure1_graph();
+        let (s, t, w) = figure1_query();
+        let dt = run_ep(EpAlgorithm::DtTsg, &g, s, t, w, &Budget::unlimited());
+        let es = run_ep(EpAlgorithm::EsTsg, &g, s, t, w, &Budget::unlimited());
+        let tg = run_ep(EpAlgorithm::TgTsg, &g, s, t, w, &Budget::unlimited());
+        assert!(dt.upper_bound_edges >= es.upper_bound_edges);
+        assert!(es.upper_bound_edges >= tg.upper_bound_edges);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(EpAlgorithm::DtTsg.name(), "EPdtTSG");
+        assert_eq!(EpAlgorithm::EsTsg.to_string(), "EPesTSG");
+        assert_eq!(EpAlgorithm::TgTsg.upper_bound_name(), "tgTSG");
+        assert_eq!(EpAlgorithm::ALL.len(), 3);
+    }
+
+    #[test]
+    fn budgeted_runs_are_flagged_inexact() {
+        let g = figure1_graph();
+        let (s, t, w) = figure1_query();
+        let out = run_ep(EpAlgorithm::DtTsg, &g, s, t, w, &Budget::steps(1));
+        assert!(!out.is_exact());
+    }
+}

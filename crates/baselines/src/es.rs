@@ -1,0 +1,173 @@
+//! `esTSG`: the non-decreasing-walk upper bound of Jin et al.
+//!
+//! `esTSG` keeps an edge `e(u, v, τ)` only if it lies on some walk from `s`
+//! to `t` whose timestamps are **non-decreasing** and inside the query
+//! window. Because every strict temporal simple path is in particular a
+//! non-decreasing walk, the result is a valid upper-bound graph of the
+//! `tspG`; because equal consecutive timestamps are allowed, it is looser
+//! than the strict-constraint bounds (`tgTSG` / `QuickUBG`).
+//!
+//! The computation is two label-correcting traversals (forward from `s`,
+//! backward from `t`) in `O(n + m)` time.
+
+use std::collections::VecDeque;
+use tspg_graph::{TemporalGraph, TimeInterval, Timestamp, VertexId};
+
+/// Builds the `esTSG` upper-bound graph for the query `(s, t, window)`.
+pub fn es_tsg(
+    graph: &TemporalGraph,
+    s: VertexId,
+    t: VertexId,
+    window: TimeInterval,
+) -> TemporalGraph {
+    let n = graph.num_vertices();
+    if (s as usize) >= n || (t as usize) >= n {
+        return TemporalGraph::empty(n);
+    }
+    let earliest = non_decreasing_earliest(graph, s, window);
+    let latest = non_increasing_latest(graph, t, window);
+    graph.edge_induced(|_, e| {
+        if !window.contains(e.time) {
+            return false;
+        }
+        match (earliest[e.src as usize], latest[e.dst as usize]) {
+            (Some(a), Some(d)) => a <= e.time && e.time <= d,
+            _ => false,
+        }
+    })
+}
+
+/// Earliest arrival at every vertex over walks from `s` with non-decreasing
+/// timestamps inside `window`; the source gets `window.begin()` ("available
+/// from the window start").
+fn non_decreasing_earliest(
+    graph: &TemporalGraph,
+    s: VertexId,
+    window: TimeInterval,
+) -> Vec<Option<Timestamp>> {
+    let n = graph.num_vertices();
+    let mut arrival: Vec<Option<Timestamp>> = vec![None; n];
+    arrival[s as usize] = Some(window.begin());
+    let mut queue = VecDeque::from([s]);
+    let mut queued = vec![false; n];
+    queued[s as usize] = true;
+    while let Some(u) = queue.pop_front() {
+        queued[u as usize] = false;
+        let reach = arrival[u as usize].expect("queued vertices are labelled");
+        for entry in graph.out_neighbors_in(u, window) {
+            if entry.time < reach {
+                continue; // non-decreasing: equality allowed
+            }
+            let v = entry.neighbor as usize;
+            if arrival[v].is_none_or(|cur| entry.time < cur) {
+                arrival[v] = Some(entry.time);
+                if !queued[v] {
+                    queued[v] = true;
+                    queue.push_back(entry.neighbor);
+                }
+            }
+        }
+    }
+    arrival
+}
+
+/// Latest departure from every vertex over walks to `t` with non-decreasing
+/// timestamps inside `window`; the target gets `window.end()`.
+fn non_increasing_latest(
+    graph: &TemporalGraph,
+    t: VertexId,
+    window: TimeInterval,
+) -> Vec<Option<Timestamp>> {
+    let n = graph.num_vertices();
+    let mut departure: Vec<Option<Timestamp>> = vec![None; n];
+    departure[t as usize] = Some(window.end());
+    let mut queue = VecDeque::from([t]);
+    let mut queued = vec![false; n];
+    queued[t as usize] = true;
+    while let Some(u) = queue.pop_front() {
+        queued[u as usize] = false;
+        let depart = departure[u as usize].expect("queued vertices are labelled");
+        for entry in graph.in_neighbors_in(u, window) {
+            if entry.time > depart {
+                continue;
+            }
+            let v = entry.neighbor as usize;
+            if departure[v].is_none_or(|cur| entry.time > cur) {
+                departure[v] = Some(entry.time);
+                if !queued[v] {
+                    queued[v] = true;
+                    queue.push_back(entry.neighbor);
+                }
+            }
+        }
+    }
+    departure
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tspg_graph::fixtures::{fig1, figure1_graph, figure1_query};
+    use tspg_graph::EdgeSet;
+
+    #[test]
+    fn matches_figure_2b() {
+        let g = figure1_graph();
+        let (s, t, w) = figure1_query();
+        let ub = es_tsg(&g, s, t, w);
+        // Fig. 2(b): the vertices a and d and their incident edges are pruned,
+        // everything among {s, b, c, e, f, t} survives.
+        assert!(!ub.has_edge(fig1::S, fig1::A, 3));
+        assert!(!ub.has_edge(fig1::S, fig1::D, 4));
+        assert!(!ub.has_edge(fig1::A, fig1::D, 5));
+        assert!(!ub.has_edge(fig1::D, fig1::T, 2));
+        assert!(!ub.has_edge(fig1::B, fig1::D, 3));
+        assert!(ub.has_edge(fig1::S, fig1::B, 2));
+        assert!(ub.has_edge(fig1::B, fig1::C, 3));
+        assert!(ub.has_edge(fig1::C, fig1::F, 4));
+        assert!(ub.has_edge(fig1::B, fig1::F, 5));
+        assert!(ub.has_edge(fig1::F, fig1::B, 5));
+        assert!(ub.has_edge(fig1::F, fig1::E, 5));
+        assert!(ub.has_edge(fig1::E, fig1::C, 6));
+        assert!(ub.has_edge(fig1::B, fig1::T, 6));
+        assert!(ub.has_edge(fig1::C, fig1::T, 7));
+        assert_eq!(ub.num_edges(), 9);
+    }
+
+    #[test]
+    fn non_decreasing_walks_are_allowed() {
+        // b -> f @ 5 then f -> e @ 5 is non-decreasing (not strictly
+        // ascending), so esTSG keeps edges that the strict bounds drop.
+        let g = figure1_graph();
+        let (s, t, w) = figure1_query();
+        let ub = es_tsg(&g, s, t, w);
+        assert!(ub.has_edge(fig1::B, fig1::F, 5));
+    }
+
+    #[test]
+    fn is_an_upper_bound_of_the_tspg() {
+        let g = figure1_graph();
+        let (s, t, w) = figure1_query();
+        let ub = EdgeSet::from_graph(&es_tsg(&g, s, t, w));
+        let expected = EdgeSet::from_edges(tspg_graph::fixtures::figure1_expected_tspg_edges());
+        assert!(expected.is_subset_of(&ub));
+    }
+
+    #[test]
+    fn unreachable_pairs_give_empty_graphs() {
+        let g = figure1_graph();
+        let (_, _, w) = figure1_query();
+        assert!(es_tsg(&g, fig1::T, fig1::S, w).is_empty());
+        assert!(es_tsg(&g, fig1::A, fig1::S, w).is_empty());
+        assert!(es_tsg(&g, 99, fig1::S, w).is_empty());
+        assert!(es_tsg(&g, fig1::S, 99, w).is_empty());
+    }
+
+    #[test]
+    fn window_is_respected() {
+        let g = figure1_graph();
+        let ub = es_tsg(&g, fig1::S, fig1::T, TimeInterval::new(2, 6));
+        assert!(ub.edges().iter().all(|e| (2..=6).contains(&e.time)));
+        assert!(!ub.has_edge(fig1::C, fig1::T, 7));
+    }
+}

@@ -1,0 +1,35 @@
+//! # tspg-baselines
+//!
+//! The baseline algorithms of Section III-A of the paper.
+//!
+//! Each baseline follows the same two-stage recipe:
+//!
+//! 1. build an *upper-bound graph* — a subgraph of the input that is
+//!    guaranteed to contain the temporal simple path graph;
+//! 2. enumerate every temporal simple path from `s` to `t` inside that
+//!    upper-bound graph and union the paths' vertices and edges.
+//!
+//! Three upper-bound graph constructions are provided:
+//!
+//! | method | constraint used | complexity |
+//! |--------|-----------------|------------|
+//! | [`dt_tsg`]   | timestamps inside the query window (projection)          | `O(m)` |
+//! | [`es_tsg`]   | lies on an `s→t` walk with *non-decreasing* timestamps    | `O(n + m)` |
+//! | [`tg_tsg`]   | lies on an `s→t` walk with *strictly ascending* timestamps, computed with bidirectional Dijkstra | `O((n + m)·log n)` |
+//!
+//! and the corresponding end-to-end baselines [`EpAlgorithm::DtTsg`],
+//! [`EpAlgorithm::EsTsg`] and [`EpAlgorithm::TgTsg`] (named `EPdtTSG`,
+//! `EPesTSG`, `EPtgTSG` in the paper) are run through [`run_ep`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dt;
+pub mod ep;
+pub mod es;
+pub mod tg;
+
+pub use dt::dt_tsg;
+pub use ep::{run_ep, EpAlgorithm, EpResult};
+pub use es::es_tsg;
+pub use tg::{tg_polarity, tg_tsg};

@@ -1,0 +1,35 @@
+//! Criterion benchmark behind Exp-1 / Fig. 5: per-query response time of the
+//! three enumeration baselines and VUG on a representative dataset.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tspg_bench::harness::{run_query, Algorithm, HarnessConfig};
+use tspg_enum::Budget;
+
+fn bench_exp1(c: &mut Criterion) {
+    let cfg = HarnessConfig::smoke();
+    let budget = Budget::steps(200_000);
+    let mut group = c.benchmark_group("exp1_response_time");
+    group.sample_size(10);
+    for spec in [tspg_datasets::find("D1").unwrap(), tspg_datasets::find("D8").unwrap()] {
+        let prepared = cfg.prepare(&spec);
+        let queries: Vec<_> = prepared.queries.iter().take(5).copied().collect();
+        for algorithm in Algorithm::HEADLINE {
+            group.bench_with_input(
+                BenchmarkId::new(algorithm.name(), &prepared.id),
+                &queries,
+                |b, queries| {
+                    b.iter(|| {
+                        for q in queries {
+                            black_box(run_query(algorithm, &prepared.graph, q, &budget));
+                        }
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exp1);
+criterion_main!(benches);

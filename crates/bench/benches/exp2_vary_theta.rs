@@ -1,0 +1,36 @@
+//! Criterion benchmark behind Exp-2 / Fig. 6: VUG response time as the query
+//! span θ grows (the baselines blow up exponentially; VUG grows modestly).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tspg_bench::harness::{run_query, Algorithm, HarnessConfig};
+use tspg_enum::Budget;
+
+fn bench_exp2(c: &mut Criterion) {
+    let cfg = HarnessConfig::smoke();
+    let spec = tspg_datasets::find("D1").unwrap();
+    let budget = Budget::steps(200_000);
+    let mut group = c.benchmark_group("exp2_vary_theta");
+    group.sample_size(10);
+    for theta in [6i64, 10, 14] {
+        let prepared = cfg.prepare_with_theta(&spec, theta);
+        let queries: Vec<_> = prepared.queries.iter().take(5).copied().collect();
+        for algorithm in [Algorithm::Vug, Algorithm::EpTgTsg] {
+            group.bench_with_input(
+                BenchmarkId::new(algorithm.name(), theta),
+                &queries,
+                |b, queries| {
+                    b.iter(|| {
+                        for q in queries {
+                            black_box(run_query(algorithm, &prepared.graph, q, &budget));
+                        }
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exp2);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion benchmark behind Exp-4 / Fig. 8: cost of each VUG phase, plus
+//! the ablation configurations (no TightUBG, no bidirectional-DFS
+//! optimizations) called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tspg_bench::harness::HarnessConfig;
+use tspg_core::{
+    generate_tspg_with, quick_upper_bound_graph, tight_upper_bound_graph, TcvTables, VugConfig,
+};
+
+fn bench_phases(c: &mut Criterion) {
+    let cfg = HarnessConfig::smoke();
+    let spec = tspg_datasets::find("D1").unwrap();
+    let prepared = cfg.prepare(&spec);
+    let queries: Vec<_> = prepared.queries.iter().take(5).copied().collect();
+
+    let mut group = c.benchmark_group("exp4_phases");
+    group.sample_size(10);
+
+    group.bench_function("quick_ubg", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(quick_upper_bound_graph(
+                    &prepared.graph,
+                    q.source,
+                    q.target,
+                    q.window,
+                ));
+            }
+        })
+    });
+
+    let gqs: Vec<_> = queries
+        .iter()
+        .map(|q| (q, quick_upper_bound_graph(&prepared.graph, q.source, q.target, q.window)))
+        .collect();
+    group.bench_function("tcv_tables", |b| {
+        b.iter(|| {
+            for (q, gq) in &gqs {
+                black_box(TcvTables::compute(gq, q.source, q.target));
+            }
+        })
+    });
+    group.bench_function("tight_ubg", |b| {
+        b.iter(|| {
+            for (q, gq) in &gqs {
+                black_box(tight_upper_bound_graph(gq, q.source, q.target));
+            }
+        })
+    });
+
+    for (label, config) in [
+        ("vug_full", VugConfig::full()),
+        ("vug_no_tight", VugConfig::without_tight_ubg()),
+        ("vug_no_bidir_opts", VugConfig::without_bidir_optimizations()),
+    ] {
+        group.bench_with_input(BenchmarkId::new("end_to_end", label), &config, |b, config| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(generate_tspg_with(
+                        &prepared.graph,
+                        q.source,
+                        q.target,
+                        q.window,
+                        config,
+                    ));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_phases);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion benchmark behind Exp-5 / Fig. 9: the Dijkstra-based `tgTSG`
+//! reduction versus the BFS-like `QuickUBG` on identical queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tspg_bench::harness::HarnessConfig;
+use tspg_core::quick_upper_bound_graph;
+
+fn bench_quick_vs_tg(c: &mut Criterion) {
+    let cfg = HarnessConfig::smoke();
+    let mut group = c.benchmark_group("exp5_quick_vs_tg");
+    group.sample_size(10);
+    for id in ["D1", "D7"] {
+        let spec = tspg_datasets::find(id).unwrap();
+        let prepared = cfg.prepare(&spec);
+        let queries: Vec<_> = prepared.queries.iter().take(10).copied().collect();
+        group.bench_with_input(BenchmarkId::new("tgTSG", id), &queries, |b, queries| {
+            b.iter(|| {
+                for q in queries {
+                    black_box(tspg_baselines::tg_tsg(
+                        &prepared.graph,
+                        q.source,
+                        q.target,
+                        q.window,
+                    ));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("QuickUBG", id), &queries, |b, queries| {
+            b.iter(|| {
+                for q in queries {
+                    black_box(quick_upper_bound_graph(
+                        &prepared.graph,
+                        q.source,
+                        q.target,
+                        q.window,
+                    ));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_quick_vs_tg);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion benchmark behind Exp-6 / Fig. 11: Escaped Edges Verification
+//! versus exhaustive enumeration, both applied to the tight upper-bound
+//! graph.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tspg_bench::harness::HarnessConfig;
+use tspg_core::{
+    escaped_edges_verification, quick_upper_bound_graph, tight_upper_bound_graph, BidirOptions,
+};
+use tspg_enum::{naive_tspg, Budget};
+
+fn bench_eev_vs_enum(c: &mut Criterion) {
+    let cfg = HarnessConfig::smoke();
+    let spec = tspg_datasets::find("D1").unwrap();
+    let prepared = cfg.prepare(&spec);
+    let budget = Budget::steps(500_000);
+
+    // Pre-build the tight upper-bound graphs so the benchmark isolates the
+    // final phase only, exactly as Exp-6 does.
+    let inputs: Vec<_> = prepared
+        .queries
+        .iter()
+        .take(10)
+        .map(|q| {
+            let gq = quick_upper_bound_graph(&prepared.graph, q.source, q.target, q.window);
+            (*q, tight_upper_bound_graph(&gq, q.source, q.target))
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("exp6_eev_vs_enum");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("enumeration", "D1"), &inputs, |b, inputs| {
+        b.iter(|| {
+            for (q, gt) in inputs {
+                black_box(naive_tspg(gt, q.source, q.target, q.window, &budget));
+            }
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("EEV", "D1"), &inputs, |b, inputs| {
+        b.iter(|| {
+            for (q, gt) in inputs {
+                black_box(escaped_edges_verification(
+                    gt,
+                    q.source,
+                    q.target,
+                    q.window,
+                    BidirOptions::default(),
+                ));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_eev_vs_enum);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion benchmark behind Table II: the cost of building each
+//! upper-bound graph (dtTSG, esTSG, tgTSG, QuickUBG, TightUBG) on one query
+//! batch. (The ratios themselves are reported by the `experiments` binary;
+//! this bench tracks the construction costs side by side.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tspg_baselines::EpAlgorithm;
+use tspg_bench::harness::HarnessConfig;
+use tspg_core::{quick_upper_bound_graph, tight_upper_bound_graph};
+
+fn bench_upper_bounds(c: &mut Criterion) {
+    let cfg = HarnessConfig::smoke();
+    let spec = tspg_datasets::find("D2").unwrap();
+    let prepared = cfg.prepare(&spec);
+    let queries: Vec<_> = prepared.queries.iter().take(10).copied().collect();
+
+    let mut group = c.benchmark_group("table2_upper_bounds");
+    group.sample_size(10);
+    for ep in EpAlgorithm::ALL {
+        group.bench_with_input(
+            BenchmarkId::new(ep.upper_bound_name(), "D2"),
+            &queries,
+            |b, queries| {
+                b.iter(|| {
+                    for q in queries {
+                        black_box(ep.upper_bound(&prepared.graph, q.source, q.target, q.window));
+                    }
+                })
+            },
+        );
+    }
+    group.bench_with_input(BenchmarkId::new("QuickUBG", "D2"), &queries, |b, queries| {
+        b.iter(|| {
+            for q in queries {
+                black_box(quick_upper_bound_graph(
+                    &prepared.graph,
+                    q.source,
+                    q.target,
+                    q.window,
+                ));
+            }
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("TightUBG", "D2"), &queries, |b, queries| {
+        b.iter(|| {
+            for q in queries {
+                let gq =
+                    quick_upper_bound_graph(&prepared.graph, q.source, q.target, q.window);
+                black_box(tight_upper_bound_graph(&gq, q.source, q.target));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_upper_bounds);
+criterion_main!(benches);

@@ -1,0 +1,347 @@
+//! `tspg` — command-line interface for temporal simple path graph generation.
+//!
+//! ```text
+//! tspg stats <edge-list>
+//! tspg generate --dataset D1 [--scale tiny|small|medium] [--seed N] [--output FILE]
+//! tspg query <edge-list> --source S --target T --begin B --end E
+//!            [--algorithm vug|epdt|epes|eptg] [--dot]
+//! tspg paths <edge-list> --source S --target T --begin B --end E [--limit N]
+//! ```
+//!
+//! The edge-list format is one `src dst timestamp` triple per line (`#` and
+//! `%` start comments), the same format used by SNAP/KONECT dumps.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use tspg_baselines::{run_ep, EpAlgorithm};
+use tspg_core::generate_tspg;
+use tspg_datasets::{find, Scale};
+use tspg_enum::{enumerate_paths, Budget};
+use tspg_graph::{io, GraphStats, TemporalGraph, TimeInterval, VertexId};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("run `tspg help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn dispatch(args: &[String]) -> Result<String, String> {
+    let Some(command) = args.first() else {
+        return Ok(usage());
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "help" | "--help" | "-h" => Ok(usage()),
+        "stats" => cmd_stats(rest),
+        "generate" => cmd_generate(rest),
+        "query" => cmd_query(rest),
+        "paths" => cmd_paths(rest),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn usage() -> String {
+    "tspg — temporal simple path graph generation (VUG)\n\
+     \n\
+     usage:\n\
+       tspg stats <edge-list>\n\
+       tspg generate --dataset D1 [--scale tiny|small|medium] [--seed N] [--output FILE]\n\
+       tspg query <edge-list> --source S --target T --begin B --end E\n\
+                  [--algorithm vug|epdt|epes|eptg] [--dot]\n\
+       tspg paths <edge-list> --source S --target T --begin B --end E [--limit N]\n"
+        .to_string()
+}
+
+/// Splits positional arguments from `--flag value` pairs.
+fn parse_flags(args: &[String]) -> Result<(Vec<String>, HashMap<String, String>), String> {
+    let mut positional = Vec::new();
+    let mut flags = HashMap::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if let Some(name) = arg.strip_prefix("--") {
+            let value = match name {
+                "dot" => "true".to_string(),
+                _ => iter
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| format!("--{name} expects a value"))?,
+            };
+            flags.insert(name.to_string(), value);
+        } else {
+            positional.push(arg.clone());
+        }
+    }
+    Ok((positional, flags))
+}
+
+fn required<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a str, String> {
+    flags.get(name).map(String::as_str).ok_or_else(|| format!("missing required flag --{name}"))
+}
+
+fn parse_number<T: std::str::FromStr>(value: &str, what: &str) -> Result<T, String> {
+    value.parse().map_err(|_| format!("invalid {what}: {value:?}"))
+}
+
+fn load_graph(path: &str) -> Result<TemporalGraph, String> {
+    io::read_edge_list_file(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn parse_query(
+    flags: &HashMap<String, String>,
+) -> Result<(VertexId, VertexId, TimeInterval), String> {
+    let source: VertexId = parse_number(required(flags, "source")?, "source vertex")?;
+    let target: VertexId = parse_number(required(flags, "target")?, "target vertex")?;
+    let begin: i64 = parse_number(required(flags, "begin")?, "interval begin")?;
+    let end: i64 = parse_number(required(flags, "end")?, "interval end")?;
+    let window = TimeInterval::try_new(begin, end)
+        .ok_or_else(|| format!("invalid interval [{begin}, {end}]"))?;
+    Ok((source, target, window))
+}
+
+fn cmd_stats(args: &[String]) -> Result<String, String> {
+    let (positional, _) = parse_flags(args)?;
+    let path = positional.first().ok_or("stats requires an edge-list path")?;
+    let graph = load_graph(path)?;
+    let stats = GraphStats::compute(&graph);
+    Ok(format!("{stats}\n"))
+}
+
+fn cmd_generate(args: &[String]) -> Result<String, String> {
+    let (_, flags) = parse_flags(args)?;
+    let dataset = required(&flags, "dataset")?;
+    let spec = find(dataset).ok_or_else(|| format!("unknown dataset {dataset:?} (D1..D10)"))?;
+    let scale = match flags.get("scale").map(String::as_str).unwrap_or("small") {
+        "tiny" => Scale::tiny(),
+        "small" => Scale::small(),
+        "medium" => Scale::medium(),
+        other => return Err(format!("unknown scale {other:?}")),
+    };
+    let seed: u64 = match flags.get("seed") {
+        Some(v) => parse_number(v, "seed")?,
+        None => 42,
+    };
+    let graph = spec.generate(scale, seed);
+    let stats = GraphStats::compute(&graph);
+    match flags.get("output") {
+        Some(path) => {
+            io::write_edge_list_file(&graph, path)
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            Ok(format!("wrote {} ({stats})\n", path))
+        }
+        None => {
+            let mut buffer = Vec::new();
+            io::write_edge_list(&graph, &mut buffer).map_err(|e| e.to_string())?;
+            Ok(String::from_utf8_lossy(&buffer).into_owned())
+        }
+    }
+}
+
+fn cmd_query(args: &[String]) -> Result<String, String> {
+    let (positional, flags) = parse_flags(args)?;
+    let path = positional.first().ok_or("query requires an edge-list path")?;
+    let graph = load_graph(path)?;
+    let (source, target, window) = parse_query(&flags)?;
+    let algorithm = flags.get("algorithm").map(String::as_str).unwrap_or("vug");
+
+    let (tspg, summary) = match algorithm {
+        "vug" => {
+            let result = generate_tspg(&graph, source, target, window);
+            let r = &result.report;
+            let summary = format!(
+                "algorithm=VUG |Gq|={} |Gt|={} |tspG|={} vertices={} time={:?}\n",
+                r.quick_edges,
+                r.tight_edges,
+                r.result_edges,
+                r.result_vertices,
+                r.total_elapsed()
+            );
+            (result.tspg, summary)
+        }
+        "epdt" | "epes" | "eptg" => {
+            let ep = match algorithm {
+                "epdt" => EpAlgorithm::DtTsg,
+                "epes" => EpAlgorithm::EsTsg,
+                _ => EpAlgorithm::TgTsg,
+            };
+            let result = run_ep(ep, &graph, source, target, window, &Budget::unlimited());
+            let summary = format!(
+                "algorithm={} |UBG|={} |tspG|={} time={:?}\n",
+                ep.name(),
+                result.upper_bound_edges,
+                result.tspg.num_edges(),
+                result.total_elapsed()
+            );
+            (result.tspg, summary)
+        }
+        other => return Err(format!("unknown algorithm {other:?}")),
+    };
+
+    let mut out = summary;
+    if flags.contains_key("dot") {
+        let sub = tspg.to_graph(graph.num_vertices());
+        out.push_str(&io::to_dot(&sub, None));
+    } else {
+        for e in tspg.edges() {
+            out.push_str(&format!("{} {} {}\n", e.src, e.dst, e.time));
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_paths(args: &[String]) -> Result<String, String> {
+    let (positional, flags) = parse_flags(args)?;
+    let path = positional.first().ok_or("paths requires an edge-list path")?;
+    let graph = load_graph(path)?;
+    let (source, target, window) = parse_query(&flags)?;
+    let limit: u64 = match flags.get("limit") {
+        Some(v) => parse_number(v, "limit")?,
+        None => 1000,
+    };
+    let out = enumerate_paths(&graph, source, target, window, &Budget::paths(limit));
+    let mut text = format!(
+        "{} temporal simple path(s) from {source} to {target} within {window} (status: {:?})\n",
+        out.paths.len(),
+        out.stats.status
+    );
+    for p in &out.paths {
+        text.push_str(&format!("{p}\n"));
+    }
+    Ok(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tspg_graph::fixtures::figure1_graph;
+
+    fn fixture_file() -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let unique = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir()
+            .join(format!("tspg_cli_fixture_{}_{unique}.txt", std::process::id()));
+        io::write_edge_list_file(&figure1_graph(), &path).unwrap();
+        path
+    }
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn help_and_unknown_commands() {
+        assert!(dispatch(&[]).unwrap().contains("usage"));
+        assert!(dispatch(&args(&["help"])).unwrap().contains("tspg query"));
+        assert!(dispatch(&args(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn stats_command() {
+        let path = fixture_file();
+        let out = dispatch(&args(&["stats", path.to_str().unwrap()])).unwrap();
+        assert!(out.contains("|E|=14"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn query_command_runs_all_algorithms() {
+        let path = fixture_file();
+        let p = path.to_str().unwrap();
+        for alg in ["vug", "epdt", "epes", "eptg"] {
+            let out = dispatch(&args(&[
+                "query", p, "--source", "0", "--target", "7", "--begin", "2", "--end", "7",
+                "--algorithm", alg,
+            ]))
+            .unwrap();
+            assert_eq!(out.lines().count(), 5, "summary plus four edges for {alg}: {out}");
+        }
+        let dot = dispatch(&args(&[
+            "query", p, "--source", "0", "--target", "7", "--begin", "2", "--end", "7", "--dot",
+        ]))
+        .unwrap();
+        assert!(dot.contains("digraph"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn paths_command_lists_both_paths() {
+        let path = fixture_file();
+        let out = dispatch(&args(&[
+            "paths",
+            path.to_str().unwrap(),
+            "--source",
+            "0",
+            "--target",
+            "7",
+            "--begin",
+            "2",
+            "--end",
+            "7",
+        ]))
+        .unwrap();
+        assert!(out.starts_with("2 temporal simple path(s)"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn generate_command_writes_an_edge_list() {
+        let out_path = std::env::temp_dir().join(format!("tspg_cli_gen_{}.txt", std::process::id()));
+        let out = dispatch(&args(&[
+            "generate",
+            "--dataset",
+            "D1",
+            "--scale",
+            "tiny",
+            "--seed",
+            "7",
+            "--output",
+            out_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.starts_with("wrote"));
+        let reloaded = io::read_edge_list_file(&out_path).unwrap();
+        assert!(reloaded.num_edges() > 0);
+        std::fs::remove_file(out_path).ok();
+    }
+
+    #[test]
+    fn missing_flags_are_reported() {
+        let path = fixture_file();
+        let err = dispatch(&args(&["query", path.to_str().unwrap(), "--source", "0"])).unwrap_err();
+        assert!(err.contains("--target"));
+        let err = dispatch(&args(&["generate"])).unwrap_err();
+        assert!(err.contains("--dataset"));
+        let err = dispatch(&args(&["generate", "--dataset", "D99"])).unwrap_err();
+        assert!(err.contains("unknown dataset"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn invalid_interval_is_rejected() {
+        let path = fixture_file();
+        let err = dispatch(&args(&[
+            "query",
+            path.to_str().unwrap(),
+            "--source",
+            "0",
+            "--target",
+            "7",
+            "--begin",
+            "9",
+            "--end",
+            "2",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("invalid interval"));
+        std::fs::remove_file(path).ok();
+    }
+}

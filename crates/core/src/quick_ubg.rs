@@ -1,0 +1,99 @@
+//! Quick upper-bound graph generation (Algorithm 2).
+//!
+//! Given the polarity times, the quick upper-bound graph `G_q` keeps exactly
+//! the edges `e(u, v, τ)` with `A(u) < τ < D(v)` (Lemma 1): the edges lying
+//! on at least one strict temporal path from `s` to `t` within the window.
+//! The scan is `O(m)`.
+
+use crate::polarity::{compute_polarity, PolarityTimes};
+use tspg_graph::{TemporalGraph, TimeInterval, VertexId};
+
+/// Builds `G_q` from precomputed polarity times.
+pub fn quick_upper_bound_graph_from(
+    graph: &TemporalGraph,
+    polarity: &PolarityTimes,
+) -> TemporalGraph {
+    graph.edge_induced(|_, e| polarity.admits_edge(e.src, e.dst, e.time))
+}
+
+/// Computes the polarity times and builds `G_q` in one call.
+pub fn quick_upper_bound_graph(
+    graph: &TemporalGraph,
+    s: VertexId,
+    t: VertexId,
+    window: TimeInterval,
+) -> TemporalGraph {
+    let polarity = compute_polarity(graph, s, t, window);
+    quick_upper_bound_graph_from(graph, &polarity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tspg_graph::fixtures::{fig1, figure1_graph, figure1_query};
+    use tspg_graph::{EdgeSet, TemporalEdge};
+
+    #[test]
+    fn reproduces_figure_3c() {
+        let g = figure1_graph();
+        let (s, t, w) = figure1_query();
+        let gq = quick_upper_bound_graph(&g, s, t, w);
+        let expected = EdgeSet::from_edges(vec![
+            TemporalEdge::new(fig1::S, fig1::B, 2),
+            TemporalEdge::new(fig1::B, fig1::C, 3),
+            TemporalEdge::new(fig1::C, fig1::F, 4),
+            TemporalEdge::new(fig1::F, fig1::B, 5),
+            TemporalEdge::new(fig1::F, fig1::E, 5),
+            TemporalEdge::new(fig1::E, fig1::C, 6),
+            TemporalEdge::new(fig1::B, fig1::T, 6),
+            TemporalEdge::new(fig1::C, fig1::T, 7),
+        ]);
+        assert_eq!(EdgeSet::from_graph(&gq), expected);
+        assert_eq!(gq.num_edges(), 8);
+    }
+
+    #[test]
+    fn identical_to_dijkstra_based_tgtsg() {
+        // The paper's discussion after Theorem 2: QuickUBG and tgTSG achieve
+        // the same reduction; only their running time differs.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..25 {
+            let n = rng.random_range(5..40);
+            let edges: Vec<TemporalEdge> = (0..rng.random_range(10..250))
+                .map(|_| {
+                    TemporalEdge::new(
+                        rng.random_range(0..n) as VertexId,
+                        rng.random_range(0..n) as VertexId,
+                        rng.random_range(1..25),
+                    )
+                })
+                .filter(|e| e.src != e.dst)
+                .collect();
+            let g = TemporalGraph::from_edges(n, edges);
+            let s = rng.random_range(0..n) as VertexId;
+            let t = rng.random_range(0..n) as VertexId;
+            let w = TimeInterval::new(2, 2 + rng.random_range(0..15));
+            let ours = EdgeSet::from_graph(&quick_upper_bound_graph(&g, s, t, w));
+            let theirs = EdgeSet::from_graph(&tspg_baselines::tg_tsg(&g, s, t, w));
+            assert_eq!(ours, theirs);
+        }
+    }
+
+    #[test]
+    fn gq_is_contained_in_the_projection() {
+        let g = figure1_graph();
+        let (s, t, w) = figure1_query();
+        let gq = EdgeSet::from_graph(&quick_upper_bound_graph(&g, s, t, w));
+        let dt = EdgeSet::from_graph(&g.project(w));
+        assert!(gq.is_subset_of(&dt));
+    }
+
+    #[test]
+    fn empty_when_target_unreachable() {
+        let g = figure1_graph();
+        let gq = quick_upper_bound_graph(&g, fig1::T, fig1::S, TimeInterval::new(2, 7));
+        assert!(gq.is_empty());
+    }
+}

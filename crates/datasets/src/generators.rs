@@ -1,0 +1,336 @@
+//! Synthetic temporal graph generators.
+//!
+//! Four generator families cover the structural regimes of the paper's ten
+//! datasets:
+//!
+//! * [`GeneratorModel::Uniform`] — Erdős–Rényi-style temporal graphs with
+//!   uniformly random endpoints and timestamps (dense communication logs such
+//!   as `email-Eu-core`).
+//! * [`GeneratorModel::Hub`] — skewed ("power-law-ish") endpoint selection
+//!   producing a few very high degree hubs (Q&A and wiki-talk style graphs).
+//! * [`GeneratorModel::Community`] — planted communities with strong
+//!   within-community preference and per-community activity bursts (social
+//!   interaction graphs).
+//! * [`GeneratorModel::Transit`] — a schedule of bus lines over shared stops,
+//!   used for the SFMTA-style case study of Fig. 13.
+//!
+//! All generators are deterministic for a given seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tspg_graph::{TemporalGraph, TemporalGraphBuilder, Timestamp, VertexId};
+
+/// The generative model used to synthesise a temporal graph.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GeneratorModel {
+    /// Uniform random endpoints, uniform random timestamps.
+    Uniform,
+    /// Skewed endpoint selection: vertex `⌊n · x^exponent⌋` for uniform `x`,
+    /// so small ids become hubs. `exponent > 1`; larger values skew harder.
+    Hub {
+        /// Skew exponent (typically 2.0–3.5).
+        exponent: f64,
+    },
+    /// Planted communities with probability `p_in` of an edge staying inside
+    /// its source community, and timestamps drawn from the community's
+    /// activity window (a contiguous slice of the timestamp domain) with
+    /// probability 0.8, uniformly otherwise.
+    Community {
+        /// Number of planted communities (≥ 1).
+        communities: usize,
+        /// Probability that an edge stays inside its community.
+        p_in: f64,
+    },
+    /// A public-transport schedule: `routes` bus lines, each visiting
+    /// `stops_per_route` stops with one edge per hop per trip; trips depart
+    /// every `headway` time units over the whole timestamp domain. A fraction
+    /// of stops is shared between lines so that transfers (and therefore
+    /// multiple temporal simple paths) exist.
+    Transit {
+        /// Number of bus lines.
+        routes: usize,
+        /// Stops per line.
+        stops_per_route: usize,
+        /// Departure interval between consecutive trips of a line.
+        headway: Timestamp,
+        /// Travel time of one hop.
+        hop_time: Timestamp,
+        /// Fraction of stops remapped onto shared "hub" stops (0.0–1.0).
+        transfer_fraction: f64,
+    },
+}
+
+/// A complete description of a synthetic temporal graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphGenerator {
+    /// Number of vertices to generate.
+    pub num_vertices: usize,
+    /// Number of temporal edges to generate (before de-duplication).
+    pub num_edges: usize,
+    /// Size of the timestamp domain; timestamps are drawn from `1..=num_timestamps`.
+    pub num_timestamps: usize,
+    /// The generative model.
+    pub model: GeneratorModel,
+}
+
+impl GraphGenerator {
+    /// Convenience constructor for a uniform random graph.
+    pub fn uniform(num_vertices: usize, num_edges: usize, num_timestamps: usize) -> Self {
+        Self { num_vertices, num_edges, num_timestamps, model: GeneratorModel::Uniform }
+    }
+
+    /// Convenience constructor for a hub-skewed graph.
+    pub fn hub(
+        num_vertices: usize,
+        num_edges: usize,
+        num_timestamps: usize,
+        exponent: f64,
+    ) -> Self {
+        Self { num_vertices, num_edges, num_timestamps, model: GeneratorModel::Hub { exponent } }
+    }
+
+    /// Generates the graph deterministically from `seed`.
+    pub fn generate(&self, seed: u64) -> TemporalGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        match &self.model {
+            GeneratorModel::Uniform => self.generate_uniform(&mut rng),
+            GeneratorModel::Hub { exponent } => self.generate_hub(&mut rng, *exponent),
+            GeneratorModel::Community { communities, p_in } => {
+                self.generate_community(&mut rng, *communities, *p_in)
+            }
+            GeneratorModel::Transit {
+                routes,
+                stops_per_route,
+                headway,
+                hop_time,
+                transfer_fraction,
+            } => generate_transit(
+                &mut rng,
+                *routes,
+                *stops_per_route,
+                *headway,
+                *hop_time,
+                *transfer_fraction,
+                self.num_timestamps as Timestamp,
+            )
+            .0,
+        }
+    }
+
+    fn generate_uniform(&self, rng: &mut StdRng) -> TemporalGraph {
+        let n = self.num_vertices.max(2);
+        let mut b = TemporalGraphBuilder::with_vertices(n);
+        b.reserve(self.num_edges);
+        for _ in 0..self.num_edges {
+            let (u, v) = random_distinct_pair(rng, n, |r, n| r.random_range(0..n));
+            let t = rng.random_range(1..=self.num_timestamps.max(1)) as Timestamp;
+            b.add_edge(u, v, t);
+        }
+        b.build()
+    }
+
+    fn generate_hub(&self, rng: &mut StdRng, exponent: f64) -> TemporalGraph {
+        let n = self.num_vertices.max(2);
+        let exponent = exponent.max(1.0);
+        let pick = move |r: &mut StdRng, n: usize| -> usize {
+            let x: f64 = r.random::<f64>();
+            ((n as f64) * x.powf(exponent)) as usize % n
+        };
+        let mut b = TemporalGraphBuilder::with_vertices(n);
+        b.reserve(self.num_edges);
+        for _ in 0..self.num_edges {
+            let (u, v) = random_distinct_pair(rng, n, pick);
+            let t = rng.random_range(1..=self.num_timestamps.max(1)) as Timestamp;
+            b.add_edge(u, v, t);
+        }
+        b.build()
+    }
+
+    fn generate_community(&self, rng: &mut StdRng, communities: usize, p_in: f64) -> TemporalGraph {
+        let n = self.num_vertices.max(2);
+        let k = communities.clamp(1, n);
+        let t_domain = self.num_timestamps.max(k);
+        let slice = (t_domain / k).max(1);
+        let mut b = TemporalGraphBuilder::with_vertices(n);
+        b.reserve(self.num_edges);
+        for _ in 0..self.num_edges {
+            let u = rng.random_range(0..n);
+            let community = u % k;
+            let v = if rng.random_bool(p_in.clamp(0.0, 1.0)) {
+                // another member of the same community
+                let members = (n / k).max(1);
+                let offset = rng.random_range(0..members);
+                (community + offset * k) % n
+            } else {
+                rng.random_range(0..n)
+            };
+            if u == v {
+                continue;
+            }
+            let t = if rng.random_bool(0.8) {
+                // burst inside the community's activity window
+                let start = community * slice;
+                rng.random_range(start..start + slice).max(1)
+            } else {
+                rng.random_range(1..=t_domain)
+            } as Timestamp;
+            b.add_edge(u as VertexId, v as VertexId, t);
+        }
+        b.build()
+    }
+}
+
+fn random_distinct_pair(
+    rng: &mut StdRng,
+    n: usize,
+    pick: impl Fn(&mut StdRng, usize) -> usize,
+) -> (VertexId, VertexId) {
+    loop {
+        let u = pick(rng, n);
+        let v = pick(rng, n);
+        if u != v {
+            return (u as VertexId, v as VertexId);
+        }
+    }
+}
+
+/// Generates a transit-schedule temporal graph and the list of stop names.
+///
+/// Stops are named `"L{line} stop {index}"` or `"Hub {h}"` for shared
+/// transfer stops; the names are what the case-study example prints in its
+/// Fig. 13 analogue.
+pub fn generate_transit(
+    rng: &mut StdRng,
+    routes: usize,
+    stops_per_route: usize,
+    headway: Timestamp,
+    hop_time: Timestamp,
+    transfer_fraction: f64,
+    day_length: Timestamp,
+) -> (TemporalGraph, Vec<String>) {
+    let routes = routes.max(1);
+    let stops_per_route = stops_per_route.max(2);
+    let headway = headway.max(1);
+    let hop_time = hop_time.max(1);
+    let num_hubs = (((routes * stops_per_route) as f64) * transfer_fraction * 0.5).ceil() as usize;
+    let num_hubs = num_hubs.max(1);
+
+    // Assign each (route, position) slot either a dedicated stop or a hub.
+    let mut names: Vec<String> = (0..num_hubs).map(|h| format!("Hub {h}")).collect();
+    let mut slot_stop = vec![vec![0 as VertexId; stops_per_route]; routes];
+    for (r, slots) in slot_stop.iter_mut().enumerate() {
+        for (i, slot) in slots.iter_mut().enumerate() {
+            if rng.random_bool(transfer_fraction.clamp(0.0, 1.0)) {
+                *slot = rng.random_range(0..num_hubs) as VertexId;
+            } else {
+                *slot = names.len() as VertexId;
+                names.push(format!("L{r} stop {i}"));
+            }
+        }
+    }
+
+    let mut b = TemporalGraphBuilder::with_vertices(names.len());
+    for slots in &slot_stop {
+        let mut depart = 1 as Timestamp;
+        while depart <= day_length.max(1) {
+            let mut time = depart;
+            for pair in slots.windows(2) {
+                if pair[0] != pair[1] {
+                    b.add_edge(pair[0], pair[1], time);
+                }
+                time += hop_time;
+            }
+            depart += headway;
+        }
+    }
+    (b.build(), names)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_generator_is_deterministic() {
+        let g = GraphGenerator::uniform(50, 400, 30);
+        let a = g.generate(7);
+        let b = g.generate(7);
+        let c = g.generate(8);
+        assert_eq!(a.edges(), b.edges());
+        assert_ne!(a.edges(), c.edges());
+        assert_eq!(a.num_vertices(), 50);
+        assert!(a.num_edges() > 300); // a few duplicates may collapse
+        assert!(a.edges().iter().all(|e| e.time >= 1 && e.time <= 30));
+        assert!(a.edges().iter().all(|e| e.src != e.dst));
+    }
+
+    #[test]
+    fn hub_generator_produces_skew() {
+        let uni = GraphGenerator::uniform(200, 3000, 50).generate(1);
+        let hub = GraphGenerator::hub(200, 3000, 50, 3.0).generate(1);
+        assert!(hub.max_degree() > 2 * uni.max_degree());
+    }
+
+    #[test]
+    fn community_generator_respects_bounds() {
+        let spec = GraphGenerator {
+            num_vertices: 120,
+            num_edges: 2000,
+            num_timestamps: 60,
+            model: GeneratorModel::Community { communities: 6, p_in: 0.85 },
+        };
+        let g = spec.generate(3);
+        assert!(g.num_edges() > 1000);
+        assert!(g.edges().iter().all(|e| e.time >= 1 && e.time <= 60));
+        assert!(g.edges().iter().all(|e| e.src != e.dst));
+        assert!(g.num_vertices() <= 120);
+        // determinism
+        assert_eq!(spec.generate(3).edges(), g.edges());
+    }
+
+    #[test]
+    fn transit_generator_builds_schedules() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let (g, names) = generate_transit(&mut rng, 5, 8, 10, 2, 0.3, 120);
+        assert_eq!(names.len(), g.num_vertices());
+        assert!(g.num_edges() > 100);
+        // hop times follow the schedule: all within one "day"
+        assert!(g.edges().iter().all(|e| e.time >= 1));
+        // at least one hub exists and has traffic
+        assert!(names.iter().any(|n| n.starts_with("Hub")));
+    }
+
+    #[test]
+    fn transit_model_through_graph_generator() {
+        let spec = GraphGenerator {
+            num_vertices: 0, // derived from routes/stops
+            num_edges: 0,
+            num_timestamps: 100,
+            model: GeneratorModel::Transit {
+                routes: 4,
+                stops_per_route: 6,
+                headway: 15,
+                hop_time: 3,
+                transfer_fraction: 0.4,
+            },
+        };
+        let g = spec.generate(5);
+        assert!(g.num_edges() > 0);
+        assert_eq!(spec.generate(5).edges(), g.edges());
+    }
+
+    #[test]
+    fn degenerate_sizes_do_not_panic() {
+        let g = GraphGenerator::uniform(1, 10, 1).generate(0);
+        assert!(g.num_vertices() >= 2);
+        let g = GraphGenerator::hub(2, 5, 1, 0.5).generate(0);
+        assert!(g.num_edges() <= 5);
+        let spec = GraphGenerator {
+            num_vertices: 3,
+            num_edges: 10,
+            num_timestamps: 2,
+            model: GeneratorModel::Community { communities: 10, p_in: 1.5 },
+        };
+        let _ = spec.generate(0);
+    }
+}

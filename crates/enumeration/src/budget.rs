@@ -1,0 +1,192 @@
+//! Search budgets for exponential-time enumeration.
+//!
+//! The paper caps every baseline run at 12 hours and reports `INF` when the
+//! cap is hit (Section VI-A). A [`Budget`] plays the same role at laptop
+//! scale: it bounds the number of DFS steps, the number of reported paths
+//! and the wall-clock time of a single enumeration, and the resulting
+//! [`SearchStatus`] records whether the run completed or was cut off.
+
+use std::time::{Duration, Instant};
+
+/// Resource limits for a single enumeration run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Budget {
+    /// Maximum number of DFS edge-expansion steps, if any.
+    pub max_steps: Option<u64>,
+    /// Maximum number of reported paths, if any.
+    pub max_paths: Option<u64>,
+    /// Maximum wall-clock time, if any.
+    pub max_time: Option<Duration>,
+}
+
+impl Budget {
+    /// No limits at all. Use only on small graphs or tight upper-bound
+    /// graphs; enumeration is exponential in the interval span.
+    pub const fn unlimited() -> Self {
+        Self { max_steps: None, max_paths: None, max_time: None }
+    }
+
+    /// Limits only the number of DFS steps.
+    pub const fn steps(max_steps: u64) -> Self {
+        Self { max_steps: Some(max_steps), max_paths: None, max_time: None }
+    }
+
+    /// Limits only the number of reported paths.
+    pub const fn paths(max_paths: u64) -> Self {
+        Self { max_steps: None, max_paths: Some(max_paths), max_time: None }
+    }
+
+    /// Limits only the wall-clock time.
+    pub const fn timeout(max_time: Duration) -> Self {
+        Self { max_steps: None, max_paths: None, max_time: Some(max_time) }
+    }
+
+    /// Sets the step limit, keeping the other limits.
+    pub const fn with_max_steps(mut self, max_steps: u64) -> Self {
+        self.max_steps = Some(max_steps);
+        self
+    }
+
+    /// Sets the path limit, keeping the other limits.
+    pub const fn with_max_paths(mut self, max_paths: u64) -> Self {
+        self.max_paths = Some(max_paths);
+        self
+    }
+
+    /// Sets the time limit, keeping the other limits.
+    pub const fn with_timeout(mut self, max_time: Duration) -> Self {
+        self.max_time = Some(max_time);
+        self
+    }
+
+    /// Starts a stopwatch for this budget.
+    pub(crate) fn start(&self) -> BudgetClock {
+        BudgetClock { budget: *self, started: Instant::now(), steps: 0, paths: 0 }
+    }
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Self::unlimited()
+    }
+}
+
+/// How an enumeration run terminated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SearchStatus {
+    /// The whole search space was explored.
+    Complete,
+    /// The step limit was reached; results are a lower bound.
+    StepLimit,
+    /// The path limit was reached; results are a lower bound.
+    PathLimit,
+    /// The time limit was reached; results are a lower bound. The harness
+    /// reports such runs as `INF`, matching the paper's 12-hour cut-off.
+    TimedOut,
+}
+
+impl SearchStatus {
+    /// `true` if the run explored the full search space.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, SearchStatus::Complete)
+    }
+}
+
+/// Mutable run-time state tracking a [`Budget`].
+#[derive(Clone, Debug)]
+pub(crate) struct BudgetClock {
+    budget: Budget,
+    started: Instant,
+    pub(crate) steps: u64,
+    pub(crate) paths: u64,
+}
+
+impl BudgetClock {
+    /// Records one DFS step and returns the violated limit, if any.
+    pub(crate) fn tick_step(&mut self) -> Option<SearchStatus> {
+        self.steps += 1;
+        if let Some(max) = self.budget.max_steps {
+            if self.steps > max {
+                return Some(SearchStatus::StepLimit);
+            }
+        }
+        if let Some(max) = self.budget.max_time {
+            // Checking the clock on every step would dominate tiny searches;
+            // amortise it over 1024 steps.
+            if self.steps % 1024 == 0 && self.started.elapsed() > max {
+                return Some(SearchStatus::TimedOut);
+            }
+        }
+        None
+    }
+
+    /// Records one reported path and returns the violated limit, if any.
+    pub(crate) fn tick_path(&mut self) -> Option<SearchStatus> {
+        self.paths += 1;
+        if let Some(max) = self.budget.max_paths {
+            if self.paths >= max {
+                return Some(SearchStatus::PathLimit);
+            }
+        }
+        None
+    }
+
+    /// Elapsed wall-clock time since the clock started.
+    pub(crate) fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let b = Budget::unlimited()
+            .with_max_steps(10)
+            .with_max_paths(5)
+            .with_timeout(Duration::from_secs(1));
+        assert_eq!(b.max_steps, Some(10));
+        assert_eq!(b.max_paths, Some(5));
+        assert_eq!(b.max_time, Some(Duration::from_secs(1)));
+        assert_eq!(Budget::default(), Budget::unlimited());
+        assert_eq!(Budget::steps(3).max_steps, Some(3));
+        assert_eq!(Budget::paths(3).max_paths, Some(3));
+        assert_eq!(Budget::timeout(Duration::from_millis(2)).max_time, Some(Duration::from_millis(2)));
+    }
+
+    #[test]
+    fn step_limit_fires() {
+        let mut clock = Budget::steps(2).start();
+        assert_eq!(clock.tick_step(), None);
+        assert_eq!(clock.tick_step(), None);
+        assert_eq!(clock.tick_step(), Some(SearchStatus::StepLimit));
+    }
+
+    #[test]
+    fn path_limit_fires() {
+        let mut clock = Budget::paths(1).start();
+        assert_eq!(clock.tick_path(), Some(SearchStatus::PathLimit));
+    }
+
+    #[test]
+    fn unlimited_never_fires() {
+        let mut clock = Budget::unlimited().start();
+        for _ in 0..10_000 {
+            assert_eq!(clock.tick_step(), None);
+        }
+        for _ in 0..100 {
+            assert_eq!(clock.tick_path(), None);
+        }
+        assert!(clock.elapsed() >= Duration::ZERO);
+    }
+
+    #[test]
+    fn status_predicates() {
+        assert!(SearchStatus::Complete.is_complete());
+        assert!(!SearchStatus::TimedOut.is_complete());
+        assert!(!SearchStatus::StepLimit.is_complete());
+        assert!(!SearchStatus::PathLimit.is_complete());
+    }
+}

@@ -1,0 +1,43 @@
+//! # tspg-enum
+//!
+//! Temporal simple path model and enumeration engine.
+//!
+//! This crate implements the *naive* side of the paper: explicit enumeration
+//! of all strict temporal simple paths between two vertices inside a time
+//! interval, and the construction of the temporal simple path graph (`tspG`)
+//! by taking the union of the enumerated paths. It is used
+//!
+//! * as the second stage of the `EP*` baseline algorithms (enumeration on an
+//!   upper-bound graph, Section III-A of the paper),
+//! * as the ground truth against which the VUG algorithm is tested,
+//! * by Exp-6 (EEV vs. enumeration) and Exp-7 (number of paths vs. edges).
+//!
+//! Because enumeration is exponential in the interval span, every entry point
+//! takes a [`Budget`] that bounds the number of search steps, the number of
+//! reported paths and the wall-clock time of the run, and reports how the
+//! search ended via [`SearchStatus`].
+//!
+//! ```
+//! use tspg_graph::fixtures::{figure1_graph, figure1_query};
+//! use tspg_enum::{enumerate_paths, Budget};
+//!
+//! let g = figure1_graph();
+//! let (s, t, w) = figure1_query();
+//! let out = enumerate_paths(&g, s, t, w, &Budget::unlimited());
+//! assert_eq!(out.paths.len(), 2); // Fig. 1(b): exactly two temporal simple paths
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod budget;
+pub mod enumerate;
+pub mod naive;
+pub mod path;
+
+pub use budget::{Budget, SearchStatus};
+pub use enumerate::{
+    count_paths, enumerate_paths, visit_paths, CountOutcome, EnumerationOutcome, SearchStats,
+};
+pub use naive::{naive_tspg, NaiveTspg};
+pub use path::{PathError, TemporalPath};

@@ -1,0 +1,121 @@
+//! Naive `tspG` construction by exhaustive path enumeration.
+//!
+//! This is the reference (ground-truth) method of Section III of the paper:
+//! enumerate every temporal simple path from `s` to `t` within the window and
+//! union their vertices and edges. Its output is exact whenever the search
+//! completed within budget, which the [`NaiveTspg::is_exact`] flag records.
+
+use crate::budget::Budget;
+use crate::enumerate::{visit_paths, SearchStats};
+use std::collections::HashSet;
+use std::ops::ControlFlow;
+use std::time::Duration;
+use tspg_graph::{EdgeSet, TemporalGraph, TimeInterval, VertexId};
+
+/// The output of the enumeration-based `tspG` construction.
+#[derive(Clone, Debug)]
+pub struct NaiveTspg {
+    /// The temporal simple path graph as an edge set (vertices are induced).
+    pub tspg: EdgeSet,
+    /// Search counters of the underlying enumeration.
+    pub stats: SearchStats,
+    /// Wall-clock time of the run.
+    pub elapsed: Duration,
+    /// Approximate bytes needed by this method: the result edges plus the
+    /// explicit storage of every enumerated path (what a path-enumeration
+    /// baseline keeps around while deduplicating, Fig. 7).
+    pub approx_bytes: usize,
+}
+
+impl NaiveTspg {
+    /// `true` if the enumeration explored the whole search space, i.e. the
+    /// result is the exact `tspG`.
+    pub fn is_exact(&self) -> bool {
+        self.stats.status.is_complete()
+    }
+}
+
+/// Builds the `tspG` of `(s, t, window)` over `graph` by exhaustive
+/// enumeration, bounded by `budget`.
+///
+/// The same routine doubles as the second stage of the `EP*` baselines: pass
+/// an upper-bound graph instead of the original graph.
+pub fn naive_tspg(
+    graph: &TemporalGraph,
+    s: VertexId,
+    t: VertexId,
+    window: TimeInterval,
+    budget: &Budget,
+) -> NaiveTspg {
+    let mut edges = HashSet::new();
+    let (stats, elapsed) = visit_paths(graph, s, t, window, budget, |p| {
+        for e in p.edges() {
+            edges.insert(*e);
+        }
+        ControlFlow::Continue(())
+    });
+    let tspg = EdgeSet::from_edges(edges);
+    let approx_bytes = tspg.approx_bytes() + stats.stored_path_bytes();
+    NaiveTspg { tspg, stats, elapsed, approx_bytes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::SearchStatus;
+    use tspg_graph::fixtures::{figure1_expected_tspg_edges, figure1_graph, figure1_query};
+    use tspg_graph::{TemporalGraphBuilder, TimeInterval};
+
+    #[test]
+    fn figure1_tspg_matches_paper() {
+        let g = figure1_graph();
+        let (s, t, w) = figure1_query();
+        let out = naive_tspg(&g, s, t, w, &Budget::unlimited());
+        assert!(out.is_exact());
+        let expected = EdgeSet::from_edges(figure1_expected_tspg_edges());
+        assert_eq!(out.tspg, expected);
+        assert_eq!(out.tspg.num_vertices(), 4); // s, b, c, t
+        assert!(out.approx_bytes >= out.tspg.approx_bytes());
+    }
+
+    #[test]
+    fn unreachable_query_gives_empty_tspg() {
+        let g = figure1_graph();
+        let out = naive_tspg(&g, 7, 0, TimeInterval::new(2, 7), &Budget::unlimited());
+        assert!(out.tspg.is_empty());
+        assert!(out.is_exact());
+    }
+
+    #[test]
+    fn truncated_runs_are_flagged_inexact() {
+        let g = figure1_graph();
+        let (s, t, w) = figure1_query();
+        let out = naive_tspg(&g, s, t, w, &Budget::steps(1));
+        assert!(!out.is_exact());
+        assert_eq!(out.stats.status, SearchStatus::StepLimit);
+    }
+
+    #[test]
+    fn tspg_is_union_of_paths_not_projection() {
+        // Edge 0->3@9 is inside the window but on no s-t temporal simple
+        // path ending at t=2 within time, so it must not appear.
+        let mut b = TemporalGraphBuilder::new();
+        b.add_edge(0, 1, 1).add_edge(1, 2, 2).add_edge(0, 3, 9);
+        let g = b.build();
+        let out = naive_tspg(&g, 0, 2, TimeInterval::new(1, 10), &Budget::unlimited());
+        assert_eq!(out.tspg.num_edges(), 2);
+        assert!(!out.tspg.contains_edge(0, 3, 9));
+    }
+
+    #[test]
+    fn shared_edges_are_reported_once() {
+        let g = figure1_graph();
+        let (s, t, w) = figure1_query();
+        let out = naive_tspg(&g, s, t, w, &Budget::unlimited());
+        // e(s, b, 2) is shared by both paths but appears once in the set.
+        assert_eq!(
+            out.tspg.edges().iter().filter(|e| e.src == 0 && e.dst == 2).count(),
+            1
+        );
+    }
+}

@@ -1,0 +1,306 @@
+//! The temporal (simple) path model of Section II of the paper.
+
+use std::collections::HashSet;
+use std::fmt;
+use tspg_graph::{TemporalEdge, TimeInterval, Timestamp, VertexId};
+
+/// Why a sequence of edges fails to be a strict temporal simple path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PathError {
+    /// The path has no edges.
+    Empty,
+    /// Consecutive edges do not share the required endpoint
+    /// (`dst` of edge `i` must equal `src` of edge `i+1`).
+    Disconnected {
+        /// Index of the first edge of the offending pair.
+        position: usize,
+    },
+    /// Timestamps are not strictly ascending along the path.
+    NotStrictlyAscending {
+        /// Index of the first edge of the offending pair.
+        position: usize,
+    },
+    /// A vertex occurs more than once.
+    RepeatedVertex {
+        /// The repeated vertex.
+        vertex: VertexId,
+    },
+    /// Some edge timestamp lies outside the query interval.
+    OutsideInterval {
+        /// Index of the offending edge.
+        position: usize,
+    },
+    /// The path does not start at the requested source vertex.
+    WrongSource,
+    /// The path does not end at the requested target vertex.
+    WrongTarget,
+}
+
+impl fmt::Display for PathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathError::Empty => write!(f, "path has no edges"),
+            PathError::Disconnected { position } => {
+                write!(f, "edges {position} and {} are not incident", position + 1)
+            }
+            PathError::NotStrictlyAscending { position } => write!(
+                f,
+                "timestamps of edges {position} and {} are not strictly ascending",
+                position + 1
+            ),
+            PathError::RepeatedVertex { vertex } => {
+                write!(f, "vertex {vertex} occurs more than once")
+            }
+            PathError::OutsideInterval { position } => {
+                write!(f, "edge {position} lies outside the query interval")
+            }
+            PathError::WrongSource => write!(f, "path does not start at the source vertex"),
+            PathError::WrongTarget => write!(f, "path does not end at the target vertex"),
+        }
+    }
+}
+
+impl std::error::Error for PathError {}
+
+/// A temporal path: a non-empty sequence of temporal edges where consecutive
+/// edges share an endpoint. Construction does not enforce the strict
+/// temporal or simple constraints; use [`TemporalPath::validate`] or the
+/// specific predicates for that.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct TemporalPath {
+    edges: Vec<TemporalEdge>,
+}
+
+impl TemporalPath {
+    /// Creates a path from a sequence of edges.
+    ///
+    /// Returns [`PathError::Empty`] for an empty sequence and
+    /// [`PathError::Disconnected`] if consecutive edges are not incident.
+    pub fn new(edges: Vec<TemporalEdge>) -> Result<Self, PathError> {
+        if edges.is_empty() {
+            return Err(PathError::Empty);
+        }
+        for (i, pair) in edges.windows(2).enumerate() {
+            if pair[0].dst != pair[1].src {
+                return Err(PathError::Disconnected { position: i });
+            }
+        }
+        Ok(Self { edges })
+    }
+
+    /// Creates a path without checking connectivity. Intended for the
+    /// enumeration engine, which builds paths edge by edge and maintains the
+    /// invariant itself.
+    pub(crate) fn from_edges_unchecked(edges: Vec<TemporalEdge>) -> Self {
+        Self { edges }
+    }
+
+    /// The edges of the path, in order.
+    #[inline]
+    pub fn edges(&self) -> &[TemporalEdge] {
+        &self.edges
+    }
+
+    /// Number of edges (the *length* `l` of the path).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `true` if the path has no edges (never the case for validated paths).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// First vertex of the path.
+    pub fn source(&self) -> VertexId {
+        self.edges.first().map(|e| e.src).expect("paths are non-empty")
+    }
+
+    /// Last vertex of the path.
+    pub fn target(&self) -> VertexId {
+        self.edges.last().map(|e| e.dst).expect("paths are non-empty")
+    }
+
+    /// Timestamp of the first edge — the *departure time* of the source.
+    pub fn departure_time(&self) -> Timestamp {
+        self.edges.first().map(|e| e.time).expect("paths are non-empty")
+    }
+
+    /// Timestamp of the last edge — the *arrival time* at the target.
+    pub fn arrival_time(&self) -> Timestamp {
+        self.edges.last().map(|e| e.time).expect("paths are non-empty")
+    }
+
+    /// The vertices of the path in visiting order (length `l + 1`).
+    pub fn vertices(&self) -> Vec<VertexId> {
+        let mut vs = Vec::with_capacity(self.edges.len() + 1);
+        vs.push(self.source());
+        vs.extend(self.edges.iter().map(|e| e.dst));
+        vs
+    }
+
+    /// `true` if timestamps are strictly ascending along the path.
+    pub fn is_strictly_ascending(&self) -> bool {
+        self.edges.windows(2).all(|p| p[0].time < p[1].time)
+    }
+
+    /// `true` if no vertex is repeated.
+    pub fn is_simple(&self) -> bool {
+        let mut seen = HashSet::with_capacity(self.edges.len() + 1);
+        seen.insert(self.source());
+        self.edges.iter().all(|e| seen.insert(e.dst))
+    }
+
+    /// `true` if every edge timestamp lies inside `window`.
+    pub fn is_within(&self, window: TimeInterval) -> bool {
+        self.edges.iter().all(|e| window.contains(e.time))
+    }
+
+    /// Full validation against Definition 1 of the paper: the path must go
+    /// from `s` to `t`, lie inside `window`, have strictly ascending
+    /// timestamps and repeat no vertex.
+    pub fn validate(
+        &self,
+        s: VertexId,
+        t: VertexId,
+        window: TimeInterval,
+    ) -> Result<(), PathError> {
+        if self.source() != s {
+            return Err(PathError::WrongSource);
+        }
+        if self.target() != t {
+            return Err(PathError::WrongTarget);
+        }
+        if let Some(pos) = self.edges.iter().position(|e| !window.contains(e.time)) {
+            return Err(PathError::OutsideInterval { position: pos });
+        }
+        if let Some(pos) = self.edges.windows(2).position(|p| p[0].time >= p[1].time) {
+            return Err(PathError::NotStrictlyAscending { position: pos });
+        }
+        let mut seen = HashSet::with_capacity(self.edges.len() + 1);
+        seen.insert(self.source());
+        for e in &self.edges {
+            if !seen.insert(e.dst) {
+                return Err(PathError::RepeatedVertex { vertex: e.dst });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for TemporalPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, e) in self.edges.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{e:?}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+impl fmt::Display for TemporalPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.source())?;
+        for e in &self.edges {
+            write!(f, " -[{}]-> {}", e.time, e.dst)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge(u: VertexId, v: VertexId, t: Timestamp) -> TemporalEdge {
+        TemporalEdge::new(u, v, t)
+    }
+
+    #[test]
+    fn valid_path_from_figure1() {
+        // ⟨e(s,b,2), e(b,c,3), e(c,t,7)⟩ with s=0, b=2, c=3, t=7.
+        let p = TemporalPath::new(vec![edge(0, 2, 2), edge(2, 3, 3), edge(3, 7, 7)]).unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.source(), 0);
+        assert_eq!(p.target(), 7);
+        assert_eq!(p.departure_time(), 2);
+        assert_eq!(p.arrival_time(), 7);
+        assert_eq!(p.vertices(), vec![0, 2, 3, 7]);
+        assert!(p.is_strictly_ascending());
+        assert!(p.is_simple());
+        assert!(p.is_within(TimeInterval::new(2, 7)));
+        assert!(p.validate(0, 7, TimeInterval::new(2, 7)).is_ok());
+        assert_eq!(p.to_string(), "0 -[2]-> 2 -[3]-> 3 -[7]-> 7");
+    }
+
+    #[test]
+    fn empty_and_disconnected_paths_are_rejected() {
+        assert_eq!(TemporalPath::new(vec![]).unwrap_err(), PathError::Empty);
+        let err = TemporalPath::new(vec![edge(0, 1, 1), edge(2, 3, 2)]).unwrap_err();
+        assert_eq!(err, PathError::Disconnected { position: 0 });
+    }
+
+    #[test]
+    fn validation_detects_each_violation() {
+        let w = TimeInterval::new(2, 7);
+        // wrong source / target
+        let p = TemporalPath::new(vec![edge(1, 2, 3)]).unwrap();
+        assert_eq!(p.validate(0, 2, w).unwrap_err(), PathError::WrongSource);
+        assert_eq!(p.validate(1, 3, w).unwrap_err(), PathError::WrongTarget);
+        // outside interval
+        let p = TemporalPath::new(vec![edge(0, 1, 9)]).unwrap();
+        assert_eq!(
+            p.validate(0, 1, w).unwrap_err(),
+            PathError::OutsideInterval { position: 0 }
+        );
+        // equal timestamps violate the *strict* constraint
+        let p = TemporalPath::new(vec![edge(0, 1, 3), edge(1, 2, 3)]).unwrap();
+        assert!(!p.is_strictly_ascending());
+        assert_eq!(
+            p.validate(0, 2, w).unwrap_err(),
+            PathError::NotStrictlyAscending { position: 0 }
+        );
+        // repeated vertex (a temporal cycle back to 1)
+        let p =
+            TemporalPath::new(vec![edge(0, 1, 3), edge(1, 2, 4), edge(2, 1, 5), edge(1, 3, 6)])
+                .unwrap();
+        assert!(!p.is_simple());
+        assert_eq!(
+            p.validate(0, 3, w).unwrap_err(),
+            PathError::RepeatedVertex { vertex: 1 }
+        );
+    }
+
+    #[test]
+    fn single_edge_path() {
+        let p = TemporalPath::new(vec![edge(4, 7, 2)]).unwrap();
+        assert!(p.validate(4, 7, TimeInterval::new(2, 7)).is_ok());
+        assert!(p.is_simple());
+        assert!(p.is_strictly_ascending());
+        assert_eq!(p.vertices(), vec![4, 7]);
+    }
+
+    #[test]
+    fn self_loop_is_not_simple() {
+        let p = TemporalPath::new(vec![edge(1, 1, 3)]).unwrap();
+        assert!(!p.is_simple());
+    }
+
+    #[test]
+    fn error_messages_are_descriptive() {
+        assert!(PathError::Empty.to_string().contains("no edges"));
+        assert!(PathError::RepeatedVertex { vertex: 3 }.to_string().contains("vertex 3"));
+        assert!(PathError::NotStrictlyAscending { position: 0 }
+            .to_string()
+            .contains("strictly ascending"));
+        assert!(PathError::Disconnected { position: 1 }.to_string().contains("not incident"));
+        assert!(PathError::OutsideInterval { position: 0 }.to_string().contains("interval"));
+        assert!(PathError::WrongSource.to_string().contains("source"));
+        assert!(PathError::WrongTarget.to_string().contains("target"));
+    }
+}

@@ -1,0 +1,137 @@
+//! Incremental construction of [`TemporalGraph`]s.
+
+use crate::graph::TemporalGraph;
+use crate::types::{TemporalEdge, Timestamp, VertexId};
+
+/// Incremental builder for [`TemporalGraph`].
+///
+/// Edges may be added in any order; [`TemporalGraphBuilder::build`] sorts
+/// them into the canonical time-major order and removes exact duplicates.
+///
+/// ```
+/// use tspg_graph::TemporalGraphBuilder;
+///
+/// let mut b = TemporalGraphBuilder::with_vertices(3);
+/// b.add_edge(0, 1, 10);
+/// b.add_edge(1, 2, 11);
+/// b.add_edge(1, 2, 11); // duplicate, dropped at build time
+/// let g = b.build();
+/// assert_eq!(g.num_edges(), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TemporalGraphBuilder {
+    min_vertices: usize,
+    edges: Vec<TemporalEdge>,
+}
+
+impl TemporalGraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder that will produce a graph with at least
+    /// `num_vertices` vertices, even if some are isolated.
+    pub fn with_vertices(num_vertices: usize) -> Self {
+        Self { min_vertices: num_vertices, edges: Vec::new() }
+    }
+
+    /// Reserves capacity for `additional` more edges.
+    pub fn reserve(&mut self, additional: usize) {
+        self.edges.reserve(additional);
+    }
+
+    /// Ensures the built graph will have at least `num_vertices` vertices.
+    pub fn ensure_vertices(&mut self, num_vertices: usize) -> &mut Self {
+        self.min_vertices = self.min_vertices.max(num_vertices);
+        self
+    }
+
+    /// Adds the temporal edge `e(src, dst, time)`.
+    pub fn add_edge(&mut self, src: VertexId, dst: VertexId, time: Timestamp) -> &mut Self {
+        self.edges.push(TemporalEdge::new(src, dst, time));
+        self
+    }
+
+    /// Adds an already-constructed [`TemporalEdge`].
+    pub fn add(&mut self, edge: TemporalEdge) -> &mut Self {
+        self.edges.push(edge);
+        self
+    }
+
+    /// Adds every edge from an iterator.
+    pub fn extend<I>(&mut self, edges: I) -> &mut Self
+    where
+        I: IntoIterator<Item = TemporalEdge>,
+    {
+        self.edges.extend(edges);
+        self
+    }
+
+    /// Number of edges currently staged (before de-duplication).
+    pub fn staged_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Consumes the builder and produces the immutable graph.
+    pub fn build(self) -> TemporalGraph {
+        TemporalGraph::from_edges(self.min_vertices, self.edges)
+    }
+}
+
+impl FromIterator<TemporalEdge> for TemporalGraph {
+    fn from_iter<I: IntoIterator<Item = TemporalEdge>>(iter: I) -> Self {
+        TemporalGraph::from_edges(0, iter.into_iter().collect())
+    }
+}
+
+impl FromIterator<(VertexId, VertexId, Timestamp)> for TemporalGraph {
+    fn from_iter<I: IntoIterator<Item = (VertexId, VertexId, Timestamp)>>(iter: I) -> Self {
+        TemporalGraph::from_edges(0, iter.into_iter().map(TemporalEdge::from).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_roundtrip() {
+        let mut b = TemporalGraphBuilder::new();
+        b.add_edge(3, 1, 7).add_edge(0, 1, 2).add(TemporalEdge::new(1, 2, 5));
+        assert_eq!(b.staged_edges(), 3);
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.edges()[0], TemporalEdge::new(0, 1, 2));
+    }
+
+    #[test]
+    fn with_vertices_keeps_isolated() {
+        let mut b = TemporalGraphBuilder::with_vertices(10);
+        b.add_edge(0, 1, 1);
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 10);
+    }
+
+    #[test]
+    fn ensure_vertices_is_monotone() {
+        let mut b = TemporalGraphBuilder::new();
+        b.ensure_vertices(5);
+        b.ensure_vertices(3);
+        assert_eq!(b.build().num_vertices(), 5);
+    }
+
+    #[test]
+    fn extend_and_from_iter() {
+        let mut b = TemporalGraphBuilder::new();
+        b.extend((0..4).map(|i| TemporalEdge::new(i, i + 1, i as Timestamp)));
+        assert_eq!(b.build().num_edges(), 4);
+
+        let g: TemporalGraph = vec![(0u32, 1u32, 3i64), (1, 2, 4)].into_iter().collect();
+        assert_eq!(g.num_edges(), 2);
+        let g: TemporalGraph =
+            vec![TemporalEdge::new(0, 1, 3), TemporalEdge::new(0, 1, 3)].into_iter().collect();
+        assert_eq!(g.num_edges(), 1);
+    }
+}

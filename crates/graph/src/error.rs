@@ -1,0 +1,75 @@
+//! Error types for the temporal graph substrate.
+
+use std::fmt;
+use std::io;
+
+/// Errors produced while reading, writing or validating temporal graphs.
+#[derive(Debug)]
+pub enum GraphError {
+    /// An underlying I/O error (file missing, permission denied, ...).
+    Io(io::Error),
+    /// A malformed line in a textual edge-list file.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// A vertex id referenced an out-of-range vertex.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: u64,
+        /// Number of vertices in the graph.
+        num_vertices: usize,
+    },
+    /// The requested operation needs a non-empty graph or edge set.
+    Empty(&'static str),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Io(e) => write!(f, "I/O error: {e}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            GraphError::VertexOutOfRange { vertex, num_vertices } => write!(
+                f,
+                "vertex {vertex} out of range for graph with {num_vertices} vertices"
+            ),
+            GraphError::Empty(what) => write!(f, "operation requires a non-empty {what}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for GraphError {
+    fn from(e: io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = GraphError::Parse { line: 3, message: "bad token".into() };
+        assert!(e.to_string().contains("line 3"));
+        let e = GraphError::VertexOutOfRange { vertex: 9, num_vertices: 4 };
+        assert!(e.to_string().contains("vertex 9"));
+        let e = GraphError::Empty("graph");
+        assert!(e.to_string().contains("non-empty graph"));
+        let e: GraphError = io::Error::new(io::ErrorKind::NotFound, "nope").into();
+        assert!(e.to_string().contains("I/O error"));
+    }
+}

@@ -1,0 +1,103 @@
+//! Shared test fixtures: the running example of the paper (Fig. 1(a)).
+//!
+//! The fixture is part of the public API (not gated behind `cfg(test)`) so
+//! that every downstream crate — and downstream users experimenting with the
+//! library — can reproduce the worked examples of the paper (Examples 1–8).
+
+use crate::graph::TemporalGraph;
+use crate::interval::TimeInterval;
+use crate::types::{TemporalEdge, VertexId};
+
+/// Vertex ids of the running example, in the paper's naming.
+#[allow(missing_docs)]
+pub mod fig1 {
+    use super::VertexId;
+    pub const S: VertexId = 0;
+    pub const A: VertexId = 1;
+    pub const B: VertexId = 2;
+    pub const C: VertexId = 3;
+    pub const D: VertexId = 4;
+    pub const E: VertexId = 5;
+    pub const F: VertexId = 6;
+    pub const T: VertexId = 7;
+}
+
+/// The directed temporal graph of Fig. 1(a).
+///
+/// Vertex mapping: `s=0, a=1, b=2, c=3, d=4, e=5, f=6, t=7`.
+///
+/// Within the query interval `[2, 7]` there are exactly two temporal simple
+/// paths from `s` to `t` (Fig. 1(b)): `⟨e(s,b,2), e(b,c,3), e(c,t,7)⟩` and
+/// `⟨e(s,b,2), e(b,t,6)⟩`, so the tspG (Fig. 1(c)) has 4 vertices and 4
+/// edges.
+pub fn figure1_graph() -> TemporalGraph {
+    use fig1::*;
+    let edges = vec![
+        TemporalEdge::new(S, A, 3),
+        TemporalEdge::new(S, B, 2),
+        TemporalEdge::new(S, D, 4),
+        TemporalEdge::new(A, D, 5),
+        TemporalEdge::new(B, C, 3),
+        TemporalEdge::new(B, D, 3),
+        TemporalEdge::new(B, F, 5),
+        TemporalEdge::new(B, T, 6),
+        TemporalEdge::new(C, F, 4),
+        TemporalEdge::new(C, T, 7),
+        TemporalEdge::new(D, T, 2),
+        TemporalEdge::new(E, C, 6),
+        TemporalEdge::new(F, B, 5),
+        TemporalEdge::new(F, E, 5),
+    ];
+    TemporalGraph::from_edges(8, edges)
+}
+
+/// The query used throughout the paper's running example:
+/// source `s`, target `t`, interval `[2, 7]`.
+pub fn figure1_query() -> (VertexId, VertexId, TimeInterval) {
+    (fig1::S, fig1::T, TimeInterval::new(2, 7))
+}
+
+/// Human-readable name of a vertex of the running example.
+pub fn figure1_name(v: VertexId) -> &'static str {
+    match v {
+        fig1::S => "s",
+        fig1::A => "a",
+        fig1::B => "b",
+        fig1::C => "c",
+        fig1::D => "d",
+        fig1::E => "e",
+        fig1::F => "f",
+        fig1::T => "t",
+        _ => "?",
+    }
+}
+
+/// The expected temporal simple path graph `tspG[2,7](s, t)` of Fig. 1(c):
+/// edges `e(s,b,2)`, `e(b,c,3)`, `e(b,t,6)`, `e(c,t,7)`.
+pub fn figure1_expected_tspg_edges() -> Vec<TemporalEdge> {
+    use fig1::*;
+    vec![
+        TemporalEdge::new(S, B, 2),
+        TemporalEdge::new(B, C, 3),
+        TemporalEdge::new(B, T, 6),
+        TemporalEdge::new(C, T, 7),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_matches_paper_sizes() {
+        let g = figure1_graph();
+        assert_eq!(g.num_vertices(), 8);
+        assert_eq!(g.num_edges(), 14);
+        let (s, t, w) = figure1_query();
+        assert_eq!((s, t), (0, 7));
+        assert_eq!(w.span(), 6);
+        assert_eq!(figure1_expected_tspg_edges().len(), 4);
+        assert_eq!(figure1_name(fig1::B), "b");
+        assert_eq!(figure1_name(99), "?");
+    }
+}

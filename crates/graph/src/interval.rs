@@ -1,0 +1,165 @@
+//! Inclusive query time intervals `[τ_b, τ_e]`.
+
+use crate::types::Timestamp;
+use std::fmt;
+
+/// An inclusive time interval `[begin, end]` (`τ_b ≤ τ_e`).
+///
+/// The *span* of the interval is `θ = τ_e − τ_b + 1`, which bounds the length
+/// of any strict temporal path inside the interval (Remark 1 in the paper).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TimeInterval {
+    begin: Timestamp,
+    end: Timestamp,
+}
+
+impl TimeInterval {
+    /// Creates the interval `[begin, end]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `begin > end`.
+    #[inline]
+    pub fn new(begin: Timestamp, end: Timestamp) -> Self {
+        assert!(begin <= end, "invalid interval: begin={begin} > end={end}");
+        Self { begin, end }
+    }
+
+    /// Creates the interval `[begin, end]`, returning `None` if `begin > end`.
+    #[inline]
+    pub fn try_new(begin: Timestamp, end: Timestamp) -> Option<Self> {
+        (begin <= end).then_some(Self { begin, end })
+    }
+
+    /// Interval covering a single timestamp.
+    #[inline]
+    pub fn point(t: Timestamp) -> Self {
+        Self { begin: t, end: t }
+    }
+
+    /// Left endpoint `τ_b`.
+    #[inline]
+    pub const fn begin(&self) -> Timestamp {
+        self.begin
+    }
+
+    /// Right endpoint `τ_e`.
+    #[inline]
+    pub const fn end(&self) -> Timestamp {
+        self.end
+    }
+
+    /// Span `θ = τ_e − τ_b + 1`.
+    #[inline]
+    pub const fn span(&self) -> i64 {
+        self.end - self.begin + 1
+    }
+
+    /// Returns `true` if `t ∈ [τ_b, τ_e]`.
+    #[inline]
+    pub const fn contains(&self, t: Timestamp) -> bool {
+        self.begin <= t && t <= self.end
+    }
+
+    /// Returns `true` if `other` is fully contained in `self`.
+    #[inline]
+    pub const fn contains_interval(&self, other: &TimeInterval) -> bool {
+        self.begin <= other.begin && other.end <= self.end
+    }
+
+    /// Intersection of two intervals, if non-empty.
+    #[inline]
+    pub fn intersect(&self, other: &TimeInterval) -> Option<TimeInterval> {
+        TimeInterval::try_new(self.begin.max(other.begin), self.end.min(other.end))
+    }
+
+    /// The interval `[τ_b, upper]`; used for prefix windows such as the
+    /// `[τ_b, τ_i]` windows of forward time-stream common vertices.
+    #[inline]
+    pub fn with_end(&self, upper: Timestamp) -> Option<TimeInterval> {
+        TimeInterval::try_new(self.begin, upper.min(self.end))
+    }
+
+    /// The interval `[lower, τ_e]`; used for suffix windows such as the
+    /// `[τ_j, τ_e]` windows of backward time-stream common vertices.
+    #[inline]
+    pub fn with_begin(&self, lower: Timestamp) -> Option<TimeInterval> {
+        TimeInterval::try_new(lower.max(self.begin), self.end)
+    }
+}
+
+impl fmt::Debug for TimeInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.begin, self.end)
+    }
+}
+
+impl fmt::Display for TimeInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.begin, self.end)
+    }
+}
+
+impl From<(Timestamp, Timestamp)> for TimeInterval {
+    fn from((b, e): (Timestamp, Timestamp)) -> Self {
+        Self::new(b, e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_and_contains() {
+        let w = TimeInterval::new(2, 7);
+        assert_eq!(w.span(), 6);
+        assert!(w.contains(2));
+        assert!(w.contains(7));
+        assert!(!w.contains(1));
+        assert!(!w.contains(8));
+    }
+
+    #[test]
+    fn point_interval() {
+        let w = TimeInterval::point(5);
+        assert_eq!(w.span(), 1);
+        assert!(w.contains(5));
+        assert!(!w.contains(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid interval")]
+    fn invalid_interval_panics() {
+        let _ = TimeInterval::new(8, 2);
+    }
+
+    #[test]
+    fn try_new_rejects_empty() {
+        assert!(TimeInterval::try_new(3, 2).is_none());
+        assert!(TimeInterval::try_new(3, 3).is_some());
+    }
+
+    #[test]
+    fn intersect_and_containment() {
+        let a = TimeInterval::new(2, 10);
+        let b = TimeInterval::new(5, 20);
+        assert_eq!(a.intersect(&b), Some(TimeInterval::new(5, 10)));
+        assert_eq!(b.intersect(&a), Some(TimeInterval::new(5, 10)));
+        let c = TimeInterval::new(11, 12);
+        assert_eq!(a.intersect(&c), None);
+        assert!(a.contains_interval(&TimeInterval::new(3, 9)));
+        assert!(!a.contains_interval(&b));
+    }
+
+    #[test]
+    fn prefix_suffix_windows() {
+        let w = TimeInterval::new(2, 7);
+        assert_eq!(w.with_end(5), Some(TimeInterval::new(2, 5)));
+        assert_eq!(w.with_end(9), Some(TimeInterval::new(2, 7)));
+        assert_eq!(w.with_end(1), None);
+        assert_eq!(w.with_begin(4), Some(TimeInterval::new(4, 7)));
+        assert_eq!(w.with_begin(0), Some(TimeInterval::new(2, 7)));
+        assert_eq!(w.with_begin(8), None);
+    }
+}

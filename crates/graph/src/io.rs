@@ -1,0 +1,193 @@
+//! Plain-text edge-list I/O and Graphviz DOT export.
+//!
+//! The accepted textual format is the one used by SNAP/KONECT temporal graph
+//! dumps: one edge per line, whitespace-separated `src dst timestamp`
+//! fields, with `#` or `%` starting a comment line.
+
+use crate::error::GraphError;
+use crate::graph::TemporalGraph;
+use crate::types::{TemporalEdge, Timestamp, VertexId};
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Parses a temporal edge list from a string.
+///
+/// ```
+/// let text = "# toy graph\n0 1 5\n1 2 7\n";
+/// let g = tspg_graph::io::parse_edge_list(text).unwrap();
+/// assert_eq!(g.num_edges(), 2);
+/// ```
+pub fn parse_edge_list(text: &str) -> Result<TemporalGraph, GraphError> {
+    read_edge_list(text.as_bytes())
+}
+
+/// Reads a temporal edge list from any [`Read`] implementation.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<TemporalGraph, GraphError> {
+    let reader = BufReader::new(reader);
+    let mut edges = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lineno = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        edges.push(parse_edge_line(trimmed, lineno)?);
+    }
+    Ok(TemporalGraph::from_edges(0, edges))
+}
+
+/// Reads a temporal edge list from a file path.
+pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<TemporalGraph, GraphError> {
+    read_edge_list(File::open(path)?)
+}
+
+/// Writes the graph as a textual edge list (one `src dst time` per line).
+pub fn write_edge_list<W: Write>(graph: &TemporalGraph, writer: W) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# temporal edge list: src dst time")?;
+    writeln!(w, "# vertices={} edges={}", graph.num_vertices(), graph.num_edges())?;
+    for e in graph.edges() {
+        writeln!(w, "{} {} {}", e.src, e.dst, e.time)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes the graph as a textual edge list to a file path.
+pub fn write_edge_list_file<P: AsRef<Path>>(
+    graph: &TemporalGraph,
+    path: P,
+) -> Result<(), GraphError> {
+    write_edge_list(graph, File::create(path)?)
+}
+
+/// Renders the graph in Graphviz DOT syntax, labelling each edge with its
+/// timestamp. `names` optionally maps vertex ids to display names (useful for
+/// the transit case study, Fig. 13).
+pub fn to_dot(graph: &TemporalGraph, names: Option<&dyn Fn(VertexId) -> String>) -> String {
+    let mut out = String::from("digraph tspg {\n  rankdir=LR;\n");
+    let label = |v: VertexId| match names {
+        Some(f) => f(v),
+        None => format!("v{v}"),
+    };
+    for v in graph.non_isolated_vertices() {
+        out.push_str(&format!("  {} [label=\"{}\"];\n", v, escape(&label(v))));
+    }
+    for e in graph.edges() {
+        out.push_str(&format!("  {} -> {} [label=\"{}\"];\n", e.src, e.dst, e.time));
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('"', "\\\"")
+}
+
+fn parse_edge_line(line: &str, lineno: usize) -> Result<TemporalEdge, GraphError> {
+    let mut fields = line.split_whitespace();
+    let src = parse_field::<u64>(fields.next(), "source vertex", lineno)?;
+    let dst = parse_field::<u64>(fields.next(), "destination vertex", lineno)?;
+    let time = parse_field::<Timestamp>(fields.next(), "timestamp", lineno)?;
+    if src > u64::from(VertexId::MAX) || dst > u64::from(VertexId::MAX) {
+        return Err(GraphError::VertexOutOfRange {
+            vertex: src.max(dst),
+            num_vertices: VertexId::MAX as usize,
+        });
+    }
+    Ok(TemporalEdge::new(src as VertexId, dst as VertexId, time))
+}
+
+fn parse_field<T: std::str::FromStr>(
+    field: Option<&str>,
+    what: &str,
+    lineno: usize,
+) -> Result<T, GraphError> {
+    let raw = field.ok_or_else(|| GraphError::Parse {
+        line: lineno,
+        message: format!("missing {what}"),
+    })?;
+    raw.parse::<T>().map_err(|_| GraphError::Parse {
+        line: lineno,
+        message: format!("invalid {what}: {raw:?}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::figure1_graph;
+
+    #[test]
+    fn parse_simple_list() {
+        let g = parse_edge_list("0 1 5\n1 2 6\n\n# comment\n% other comment\n2 0 7\n").unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.has_edge(2, 0, 7));
+    }
+
+    #[test]
+    fn parse_tabs_and_extra_fields() {
+        // Extra trailing fields (e.g. edge weights) are ignored.
+        let g = parse_edge_list("0\t1\t5 1.0\n").unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn parse_errors_are_reported_with_line_numbers() {
+        let err = parse_edge_list("0 1 5\n0 x 6\n").unwrap_err();
+        match err {
+            GraphError::Parse { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("destination"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        let err = parse_edge_list("0 1\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn negative_timestamps_are_allowed() {
+        let g = parse_edge_list("0 1 -5\n").unwrap();
+        assert_eq!(g.edges()[0].time, -5);
+    }
+
+    #[test]
+    fn roundtrip_through_text() {
+        let g = figure1_graph();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let parsed = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(parsed.edges(), g.edges());
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let g = figure1_graph();
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("tspg_io_test_{}.txt", std::process::id()));
+        write_edge_list_file(&g, &path).unwrap();
+        let parsed = read_edge_list_file(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(parsed.edges(), g.edges());
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let err = read_edge_list_file("/definitely/not/a/file.txt").unwrap_err();
+        assert!(matches!(err, GraphError::Io(_)));
+    }
+
+    #[test]
+    fn dot_output_contains_vertices_and_edges() {
+        let g = figure1_graph();
+        let dot = to_dot(&g, None);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("0 -> 2 [label=\"2\"]"));
+        let named = to_dot(&g, Some(&|v| format!("V{v}")));
+        assert!(named.contains("label=\"V0\""));
+    }
+}

@@ -1,0 +1,95 @@
+//! Summary statistics of a temporal graph, mirroring Table I of the paper
+//! (`|V|`, `|E|`, `|T|`, maximum degree `d`).
+
+use crate::graph::TemporalGraph;
+use crate::interval::TimeInterval;
+use std::fmt;
+
+/// Summary statistics of a temporal graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GraphStats {
+    /// Number of vertices `|V|`.
+    pub num_vertices: usize,
+    /// Number of temporal edges `|E|`.
+    pub num_edges: usize,
+    /// Number of distinct timestamps `|T|`.
+    pub num_timestamps: usize,
+    /// Maximum in- or out-degree `d`.
+    pub max_degree: usize,
+    /// Smallest and largest timestamps, if the graph has edges.
+    pub time_range: Option<TimeInterval>,
+}
+
+impl GraphStats {
+    /// Computes the statistics of `graph`.
+    pub fn compute(graph: &TemporalGraph) -> Self {
+        Self {
+            num_vertices: graph.num_vertices(),
+            num_edges: graph.num_edges(),
+            num_timestamps: graph.num_timestamps(),
+            max_degree: graph.max_degree(),
+            time_range: graph.time_range(),
+        }
+    }
+
+    /// Average number of temporal edges per vertex (`m / n`), 0 for an empty
+    /// vertex set.
+    pub fn average_degree(&self) -> f64 {
+        if self.num_vertices == 0 {
+            0.0
+        } else {
+            self.num_edges as f64 / self.num_vertices as f64
+        }
+    }
+
+    /// A single TSV row `n\tm\t|T|\td`, used by the experiment harness when
+    /// printing its Table I analogue.
+    pub fn tsv_row(&self) -> String {
+        format!(
+            "{}\t{}\t{}\t{}",
+            self.num_vertices, self.num_edges, self.num_timestamps, self.max_degree
+        )
+    }
+}
+
+impl fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "|V|={} |E|={} |T|={} d={}",
+            self.num_vertices, self.num_edges, self.num_timestamps, self.max_degree
+        )?;
+        if let Some(r) = self.time_range {
+            write!(f, " time={r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::figure1_graph;
+
+    #[test]
+    fn stats_of_running_example() {
+        let s = GraphStats::compute(&figure1_graph());
+        assert_eq!(s.num_vertices, 8);
+        assert_eq!(s.num_edges, 14);
+        assert_eq!(s.num_timestamps, 6);
+        assert_eq!(s.max_degree, 4);
+        assert_eq!(s.time_range, Some(TimeInterval::new(2, 7)));
+        assert!((s.average_degree() - 14.0 / 8.0).abs() < 1e-12);
+        assert_eq!(s.tsv_row(), "8\t14\t6\t4");
+        assert!(s.to_string().contains("|E|=14"));
+    }
+
+    #[test]
+    fn stats_of_empty_graph() {
+        let s = GraphStats::compute(&TemporalGraph::empty(0));
+        assert_eq!(s.num_vertices, 0);
+        assert_eq!(s.num_edges, 0);
+        assert_eq!(s.average_degree(), 0.0);
+        assert!(s.time_range.is_none());
+    }
+}

@@ -1,0 +1,117 @@
+//! Fundamental identifier and edge types shared across the workspace.
+
+use std::fmt;
+
+/// Dense vertex identifier.
+///
+/// Vertices of a [`crate::TemporalGraph`] are numbered `0..num_vertices`.
+/// `u32` comfortably covers the datasets used by the paper (the largest has
+/// ~6 M vertices) while keeping adjacency entries compact.
+pub type VertexId = u32;
+
+/// Integer interaction timestamp.
+///
+/// The paper (Section II) follows the standard convention that timestamps are
+/// integers (e.g. UNIX timestamps); `i64` covers both raw epoch seconds and
+/// small synthetic domains, and leaves room for the sentinel arithmetic
+/// (`τ_b − 1`, `τ_e + 1`) performed by the polarity-time computation.
+pub type Timestamp = i64;
+
+/// Identifier of an edge inside a particular [`crate::TemporalGraph`].
+///
+/// Edge ids are indices into the graph's canonical, timestamp-sorted edge
+/// array, so iterating edges by increasing id also iterates them in
+/// non-descending temporal order — exactly the scan order required by the
+/// TCV computation (Algorithm 4) and by TightUBG (Algorithm 5).
+pub type EdgeId = u32;
+
+/// A directed temporal edge `e(u, v, τ)`: an interaction from `src` to `dst`
+/// at integer timestamp `time`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TemporalEdge {
+    /// Timestamp of the interaction. Placed first so the derived `Ord`
+    /// orders edges by time, then by source, then by destination — the
+    /// canonical order used throughout the workspace.
+    pub time: Timestamp,
+    /// Source vertex (tail).
+    pub src: VertexId,
+    /// Destination vertex (head).
+    pub dst: VertexId,
+}
+
+impl TemporalEdge {
+    /// Creates a new temporal edge `e(src, dst, time)`.
+    #[inline]
+    pub const fn new(src: VertexId, dst: VertexId, time: Timestamp) -> Self {
+        Self { time, src, dst }
+    }
+
+    /// Returns `true` if the edge is a self-loop (`src == dst`).
+    ///
+    /// Self-loops can never participate in a *simple* path of length ≥ 1
+    /// between two distinct vertices, but they are accepted by the storage
+    /// layer so that raw datasets round-trip unchanged.
+    #[inline]
+    pub const fn is_loop(&self) -> bool {
+        self.src == self.dst
+    }
+
+    /// Returns the edge with its direction reversed (same timestamp).
+    #[inline]
+    pub const fn reversed(&self) -> Self {
+        Self { time: self.time, src: self.dst, dst: self.src }
+    }
+}
+
+impl fmt::Debug for TemporalEdge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e({}, {}, {})", self.src, self.dst, self.time)
+    }
+}
+
+impl fmt::Display for TemporalEdge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {} @ {}", self.src, self.dst, self.time)
+    }
+}
+
+impl From<(VertexId, VertexId, Timestamp)> for TemporalEdge {
+    fn from((src, dst, time): (VertexId, VertexId, Timestamp)) -> Self {
+        Self::new(src, dst, time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_ordering_is_time_major() {
+        let a = TemporalEdge::new(5, 9, 1);
+        let b = TemporalEdge::new(0, 1, 2);
+        let c = TemporalEdge::new(0, 2, 2);
+        let mut v = vec![c, b, a];
+        v.sort();
+        assert_eq!(v, vec![a, b, c]);
+    }
+
+    #[test]
+    fn edge_helpers() {
+        let e = TemporalEdge::new(3, 3, 10);
+        assert!(e.is_loop());
+        let e = TemporalEdge::new(1, 2, 10);
+        assert!(!e.is_loop());
+        assert_eq!(e.reversed(), TemporalEdge::new(2, 1, 10));
+        assert_eq!(e.reversed().reversed(), e);
+    }
+
+    #[test]
+    fn edge_from_tuple_and_display() {
+        let e: TemporalEdge = (7, 8, 42).into();
+        assert_eq!(e.src, 7);
+        assert_eq!(e.dst, 8);
+        assert_eq!(e.time, 42);
+        assert_eq!(format!("{e:?}"), "e(7, 8, 42)");
+        assert_eq!(format!("{e}"), "7 -> 8 @ 42");
+    }
+}

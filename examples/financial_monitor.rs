@@ -1,0 +1,68 @@
+//! Financial-monitoring scenario (second application in the paper's
+//! introduction).
+//!
+//! Transactions form a temporal graph: accounts are vertices, a transfer at
+//! time τ is a temporal edge. Money-laundering patterns often appear as
+//! cyclic transaction sequences with ascending timestamps inside a tight
+//! window: a transaction `e(t, s, τ)` closes such a cycle exactly when a
+//! temporal simple path from `s` to `t` exists shortly before `τ`. The
+//! temporal simple path graph then visualises *all* the flows that feed the
+//! suspicious closing transaction.
+//!
+//! ```text
+//! cargo run --example financial_monitor
+//! ```
+
+use tspg_suite::prelude::*;
+
+fn main() {
+    // A hub-skewed transaction network: a few very active accounts
+    // (exchanges, mules) and a long tail of ordinary accounts.
+    let generator = GraphGenerator::hub(400, 8_000, 200, 2.6);
+    let graph = generator.generate(77);
+    println!("transaction network: {}", GraphStats::compute(&graph));
+
+    // Scan closing transactions: for each edge e(t, s, τ) check whether a
+    // temporal simple path from s to t exists within the preceding window of
+    // `lookback` ticks. Every hit is a temporal cycle candidate.
+    let lookback = 12i64;
+    let mut flagged = 0usize;
+    let mut inspected = 0usize;
+    for closing in graph.edges().iter().rev().take(400) {
+        inspected += 1;
+        let (cycle_target, cycle_source, tau) = (closing.src, closing.dst, closing.time);
+        let Some(window) = TimeInterval::try_new(tau - lookback, tau - 1) else { continue };
+        let result = generate_tspg(&graph, cycle_source, cycle_target, window);
+        if result.tspg.is_empty() {
+            continue;
+        }
+        flagged += 1;
+        if flagged <= 3 {
+            println!(
+                "\nsuspicious cycle closed by {} -> {} at {}: {} accounts / {} transfers feed it",
+                cycle_target,
+                cycle_source,
+                tau,
+                result.tspg.num_vertices(),
+                result.tspg.num_edges()
+            );
+            let mut shown = 0;
+            for e in result.tspg.edges() {
+                println!("    {e}");
+                shown += 1;
+                if shown >= 8 {
+                    println!("    ... ({} more)", result.tspg.num_edges() - shown);
+                    break;
+                }
+            }
+            // The flows are exact: every printed transfer lies on at least
+            // one ascending-time simple path from the cycle source to the
+            // cycle target.
+            let check = naive_tspg(&graph, cycle_source, cycle_target, window, &Budget::unlimited());
+            assert_eq!(check.tspg, result.tspg);
+        }
+    }
+    println!(
+        "\ninspected {inspected} closing transactions, {flagged} of them complete a temporal cycle"
+    );
+}

@@ -1,0 +1,77 @@
+//! Travel-planning case study (Exp-8 / Fig. 13 of the paper).
+//!
+//! A bus schedule is modelled as a temporal graph whose vertices are stops
+//! and whose edges are scheduled hops between consecutive stops. The
+//! temporal simple path graph between two stops within a tight time window
+//! shows every transfer option a passenger still has — including the ones
+//! that only open up after missing an earlier connection.
+//!
+//! ```text
+//! cargo run --example transit_planning
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tspg_suite::datasets::generate_transit;
+use tspg_suite::graph::io::to_dot;
+use tspg_suite::prelude::*;
+
+fn main() {
+    // A synthetic city: 12 bus lines, 10 stops each, a bus every 12 minutes,
+    // 2 minutes per hop, and 45% of the stops shared between lines.
+    let mut rng = StdRng::seed_from_u64(99);
+    let (graph, names) = generate_transit(&mut rng, 12, 10, 12, 2, 0.45, 240);
+    println!("schedule: {}", GraphStats::compute(&graph));
+
+    // The passenger wants to travel between two transfer hubs within a
+    // ten-minute window in the middle of the service day.
+    let hubs: Vec<VertexId> = graph
+        .non_isolated_vertices()
+        .into_iter()
+        .filter(|&v| names[v as usize].starts_with("Hub"))
+        .collect();
+    let mut best: Option<(VertexId, VertexId, TimeInterval, usize)> = None;
+    for (i, &a) in hubs.iter().enumerate() {
+        for &b in hubs.iter().skip(i + 1) {
+            for begin in [60, 120, 180] {
+                let window = TimeInterval::new(begin, begin + 10);
+                let edges = generate_tspg(&graph, a, b, window).tspg.num_edges();
+                if edges > best.map_or(0, |(_, _, _, e)| e) {
+                    best = Some((a, b, window, edges));
+                }
+            }
+        }
+    }
+    let (from, to, window, _) = best.expect("some hub pair is always connected");
+    let result = generate_tspg(&graph, from, to, window);
+
+    println!(
+        "\nquery: {} -> {} within minutes {window}",
+        names[from as usize], names[to as usize]
+    );
+    println!(
+        "tspG: {} stops, {} scheduled hops participate in at least one itinerary",
+        result.tspg.num_vertices(),
+        result.tspg.num_edges()
+    );
+    for e in result.tspg.edges() {
+        println!(
+            "  depart {:>3}  {} -> {}",
+            e.time, names[e.src as usize], names[e.dst as usize]
+        );
+    }
+
+    // The number of distinct itineraries is typically much larger than the
+    // number of hops — the whole point of returning a graph instead of a
+    // path list.
+    let tspg_graph = result.tspg.to_graph(graph.num_vertices());
+    let itineraries = count_paths(&tspg_graph, from, to, window, &Budget::unlimited());
+    println!(
+        "\n{} distinct itineraries share those {} hops",
+        itineraries.count,
+        result.tspg.num_edges()
+    );
+
+    println!("\nGraphviz DOT (render with `dot -Tpng`):\n");
+    println!("{}", to_dot(&tspg_graph, Some(&|v| names[v as usize].clone())));
+}

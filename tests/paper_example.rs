@@ -1,0 +1,116 @@
+//! End-to-end integration test reproducing every worked example of the paper
+//! (Examples 1–8) across crate boundaries.
+
+use tspg_suite::prelude::*;
+use tspg_suite::{baselines, core, enumeration, graph};
+
+#[test]
+fn example_1_two_paths_and_the_tspg() {
+    let g = figure1_graph();
+    let (s, t, w) = figure1_query();
+    // Example 1: exactly two temporal simple paths within [2, 7]...
+    let paths = enumerate_paths(&g, s, t, w, &Budget::unlimited());
+    assert_eq!(paths.paths.len(), 2);
+    // ... sharing the edge e(s, b, 2), yielding a 4-vertex / 4-edge tspG.
+    let result = generate_tspg(&g, s, t, w);
+    assert_eq!(result.tspg.num_edges(), 4);
+    assert_eq!(result.tspg.num_vertices(), 4);
+    assert!(result.tspg.contains_edge(0, 2, 2));
+}
+
+#[test]
+fn example_2_baseline_upper_bound_sizes() {
+    let g = figure1_graph();
+    let (s, t, w) = figure1_query();
+    // Fig. 2: dtTSG keeps everything (all 14 edges are inside [2,7]),
+    // esTSG keeps 9 edges, tgTSG keeps 8 edges.
+    assert_eq!(baselines::dt_tsg(&g, w).num_edges(), 14);
+    assert_eq!(baselines::es_tsg(&g, s, t, w).num_edges(), 9);
+    assert_eq!(baselines::tg_tsg(&g, s, t, w).num_edges(), 8);
+}
+
+#[test]
+fn examples_3_to_5_polarity_times() {
+    let g = figure1_graph();
+    let (s, t, w) = figure1_query();
+    let polarity = core::compute_polarity(&g, s, t, w);
+    // Example 3: A(f) = 4, D(f) = 5.
+    assert_eq!(polarity.arrival(6), Some(4));
+    assert_eq!(polarity.departure(6), Some(5));
+    // Example 5: A(b) = 2, A(a) = 3, A(d) ends at 3.
+    assert_eq!(polarity.arrival(2), Some(2));
+    assert_eq!(polarity.arrival(1), Some(3));
+    assert_eq!(polarity.arrival(4), Some(3));
+}
+
+#[test]
+fn example_4_quick_upper_bound_graph() {
+    let g = figure1_graph();
+    let (s, t, w) = figure1_query();
+    let gq = core::quick_upper_bound_graph(&g, s, t, w);
+    assert_eq!(gq.num_edges(), 8);
+    assert!(!gq.has_edge(0, 1, 3)); // e(s, a, 3) excluded: D(a) = -inf
+    assert!(!gq.has_edge(4, 7, 2)); // e(d, t, 2) excluded: A(d) = 3 > 2
+}
+
+#[test]
+fn examples_6_and_7_time_stream_common_vertices() {
+    let g = figure1_graph();
+    let (s, t, w) = figure1_query();
+    let gq = core::quick_upper_bound_graph(&g, s, t, w);
+    let tcv = core::TcvTables::compute(&gq, s, t);
+    // Example 6: T_out(f, Gq) = {5}, single backward entry.
+    assert_eq!(gq.out_times(6), vec![5]);
+    // Example 7: TCV_5(f, t) ends up as {f} after the intersection.
+    assert_eq!(tcv.backward(6, 5).to_vec(), vec![6]);
+    assert_eq!(tcv.backward(5, 6).to_vec(), vec![3, 5]); // TCV_6(e,t) = {c, e}
+}
+
+#[test]
+fn example_8_tight_upper_bound_graph() {
+    let g = figure1_graph();
+    let (s, t, w) = figure1_query();
+    let gq = core::quick_upper_bound_graph(&g, s, t, w);
+    let gt = core::tight_upper_bound_graph(&gq, s, t);
+    // e(c, f, 4) is kept in G_t (Example 8) even though it is not in the
+    // final tspG — it is the one edge EEV has to reject by search.
+    assert!(gt.has_edge(3, 6, 4));
+    assert_eq!(gt.num_edges(), 5);
+    let eev = core::escaped_edges_verification(
+        &gt,
+        s,
+        t,
+        w,
+        core::BidirOptions::default(),
+    );
+    assert_eq!(eev.stats.rejected, 1);
+    assert_eq!(eev.tspg.num_edges(), 4);
+}
+
+#[test]
+fn all_five_algorithms_agree_on_the_running_example() {
+    let g = figure1_graph();
+    let (s, t, w) = figure1_query();
+    let expected = EdgeSet::from_edges(graph::fixtures::figure1_expected_tspg_edges());
+    assert_eq!(generate_tspg(&g, s, t, w).tspg, expected);
+    assert_eq!(
+        enumeration::naive_tspg(&g, s, t, w, &Budget::unlimited()).tspg,
+        expected
+    );
+    for alg in EpAlgorithm::ALL {
+        assert_eq!(run_ep(alg, &g, s, t, w, &Budget::unlimited()).tspg, expected);
+    }
+}
+
+#[test]
+fn graph_io_roundtrip_preserves_query_results() {
+    let g = figure1_graph();
+    let (s, t, w) = figure1_query();
+    let mut buffer = Vec::new();
+    graph::io::write_edge_list(&g, &mut buffer).unwrap();
+    let reloaded = graph::io::read_edge_list(&buffer[..]).unwrap();
+    assert_eq!(
+        generate_tspg(&reloaded, s, t, w).tspg,
+        generate_tspg(&g, s, t, w).tspg
+    );
+}
