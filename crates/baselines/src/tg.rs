@@ -163,10 +163,8 @@ mod tests {
 
     #[test]
     fn direct_edge_between_s_and_t_is_kept() {
-        let g = tspg_graph::TemporalGraph::from_edges(
-            2,
-            vec![tspg_graph::TemporalEdge::new(0, 1, 5)],
-        );
+        let g =
+            tspg_graph::TemporalGraph::from_edges(2, vec![tspg_graph::TemporalEdge::new(0, 1, 5)]);
         let ub = tg_tsg(&g, 0, 1, TimeInterval::new(2, 7));
         assert_eq!(ub.num_edges(), 1);
         let ub = tg_tsg(&g, 0, 1, TimeInterval::new(6, 7));

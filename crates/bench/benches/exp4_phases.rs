@@ -21,12 +21,7 @@ fn bench_phases(c: &mut Criterion) {
     group.bench_function("quick_ubg", |b| {
         b.iter(|| {
             for q in &queries {
-                black_box(quick_upper_bound_graph(
-                    &prepared.graph,
-                    q.source,
-                    q.target,
-                    q.window,
-                ));
+                black_box(quick_upper_bound_graph(&prepared.graph, q.source, q.target, q.window));
             }
         })
     });

@@ -33,20 +33,14 @@ fn bench_upper_bounds(c: &mut Criterion) {
     group.bench_with_input(BenchmarkId::new("QuickUBG", "D2"), &queries, |b, queries| {
         b.iter(|| {
             for q in queries {
-                black_box(quick_upper_bound_graph(
-                    &prepared.graph,
-                    q.source,
-                    q.target,
-                    q.window,
-                ));
+                black_box(quick_upper_bound_graph(&prepared.graph, q.source, q.target, q.window));
             }
         })
     });
     group.bench_with_input(BenchmarkId::new("TightUBG", "D2"), &queries, |b, queries| {
         b.iter(|| {
             for q in queries {
-                let gq =
-                    quick_upper_bound_graph(&prepared.graph, q.source, q.target, q.window);
+                let gq = quick_upper_bound_graph(&prepared.graph, q.source, q.target, q.window);
                 black_box(tight_upper_bound_graph(&gq, q.source, q.target));
             }
         })

@@ -3,8 +3,7 @@
 //! `EXPERIMENTS.md` records.
 
 use crate::harness::{
-    format_bytes, format_duration, run_workload, Algorithm, AlgorithmOutcome, HarnessConfig,
-    Table,
+    format_bytes, format_duration, run_workload, Algorithm, AlgorithmOutcome, HarnessConfig, Table,
 };
 use std::time::Instant;
 use tspg_baselines::EpAlgorithm;
@@ -52,11 +51,7 @@ pub fn exp1_response_time(cfg: &HarnessConfig) -> Table {
             .map(|&alg| run_workload(alg, &prepared, &cfg.baseline_budget))
             .collect();
         let vug = outcomes[3];
-        let best_ep = outcomes[..3]
-            .iter()
-            .filter(|o| !o.is_inf())
-            .map(|o| o.total_elapsed)
-            .min();
+        let best_ep = outcomes[..3].iter().filter(|o| !o.is_inf()).map(|o| o.total_elapsed).min();
         let speedup = match best_ep {
             Some(best) if vug.total_elapsed.as_secs_f64() > 0.0 => {
                 format!("{:.1}x", best.as_secs_f64() / vug.total_elapsed.as_secs_f64())
@@ -251,12 +246,16 @@ pub fn exp5_vary_theta(cfg: &HarnessConfig, dataset_ids: &[&str]) -> Vec<Table> 
                 tight_time += started.elapsed();
                 quick_edges += gq.num_edges() as u64;
                 tight_edges += gt.num_edges() as u64;
-                tspg_edges +=
-                    generate_tspg(&prepared.graph, q.source, q.target, q.window).report.result_edges
-                        as u64;
+                tspg_edges += generate_tspg(&prepared.graph, q.source, q.target, q.window)
+                    .report
+                    .result_edges as u64;
             }
             let pct = |bound: u64| {
-                if bound == 0 { "-".into() } else { format!("{:.1}", 100.0 * tspg_edges as f64 / bound as f64) }
+                if bound == 0 {
+                    "-".into()
+                } else {
+                    format!("{:.1}", 100.0 * tspg_edges as f64 / bound as f64)
+                }
             };
             table.push_row(vec![
                 theta.to_string(),
@@ -304,19 +303,13 @@ pub fn exp6_eev_vs_enumeration(cfg: &HarnessConfig, dataset_ids: &[&str]) -> Vec
                 );
                 eev_time += started.elapsed();
             }
-            let enum_cell =
-                if enum_inf { "INF".to_string() } else { format_duration(enum_time) };
+            let enum_cell = if enum_inf { "INF".to_string() } else { format_duration(enum_time) };
             let speedup = if enum_inf || eev_time.is_zero() {
                 ">INF".to_string()
             } else {
                 format!("{:.1}x", enum_time.as_secs_f64() / eev_time.as_secs_f64())
             };
-            table.push_row(vec![
-                theta.to_string(),
-                enum_cell,
-                format_duration(eev_time),
-                speedup,
-            ]);
+            table.push_row(vec![theta.to_string(), enum_cell, format_duration(eev_time), speedup]);
         }
         tables.push(table);
     }
@@ -331,7 +324,13 @@ pub fn exp7_paths_vs_edges(cfg: &HarnessConfig, dataset_ids: &[&str]) -> Vec<Tab
         let Some(spec) = tspg_datasets::find(id) else { continue };
         let mut table = Table::new(
             format!("Exp-7 (Fig. 12) — #paths vs #edges in the tspG, dataset {id}"),
-            &["theta", "total tspG edges", "total tspG vertices", "total simple paths", "paths/edges"],
+            &[
+                "theta",
+                "total tspG edges",
+                "total tspG vertices",
+                "total simple paths",
+                "paths/edges",
+            ],
         );
         for delta in [-2i64, 0, 2] {
             let theta = (spec.default_theta + delta).max(2);
@@ -346,17 +345,15 @@ pub fn exp7_paths_vs_edges(cfg: &HarnessConfig, dataset_ids: &[&str]) -> Vec<Tab
                 // Counting is exponential; cap it with the baseline budget so
                 // the reported number is a (usually exact) lower bound.
                 let tspg_graph = vug.tspg.to_graph(prepared.graph.num_vertices());
-                paths += count_paths(
-                    &tspg_graph,
-                    q.source,
-                    q.target,
-                    q.window,
-                    &cfg.baseline_budget,
-                )
-                .count;
+                paths +=
+                    count_paths(&tspg_graph, q.source, q.target, q.window, &cfg.baseline_budget)
+                        .count;
             }
-            let ratio =
-                if edges == 0 { "-".to_string() } else { format!("{:.1}", paths as f64 / edges as f64) };
+            let ratio = if edges == 0 {
+                "-".to_string()
+            } else {
+                format!("{:.1}", paths as f64 / edges as f64)
+            };
             table.push_row(vec![
                 theta.to_string(),
                 edges.to_string(),
@@ -393,7 +390,7 @@ pub fn exp8_case_study(seed: u64) -> (Table, String) {
                 let window = TimeInterval::new(begin, begin + 10);
                 let result = generate_tspg(&graph, a, b, window);
                 let edges = result.tspg.num_edges();
-                if best.as_ref().map_or(true, |(_, _, _, e)| edges > *e) && edges > 0 {
+                if best.as_ref().is_none_or(|(_, _, _, e)| edges > *e) && edges > 0 {
                     best = Some((a, b, window, edges));
                 }
             }

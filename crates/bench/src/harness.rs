@@ -73,8 +73,7 @@ impl HarnessConfig {
     pub fn prepare_with_theta(&self, spec: &DatasetSpec, theta: i64) -> PreparedDataset {
         let graph = spec.generate(self.scale, self.seed ^ hash_id(spec.id));
         let mut generator = WorkloadGenerator::new(&graph, self.seed.wrapping_add(theta as u64));
-        let queries =
-            generator.generate(&WorkloadConfig::new(self.queries_per_dataset, theta));
+        let queries = generator.generate(&WorkloadConfig::new(self.queries_per_dataset, theta));
         PreparedDataset { id: spec.id.to_string(), spec: spec.clone(), theta, graph, queries }
     }
 }
@@ -247,8 +246,7 @@ pub fn run_query(
                 Algorithm::VugNoBidirOpt => VugConfig::without_bidir_optimizations(),
                 _ => VugConfig::full(),
             };
-            let out =
-                generate_tspg_with(graph, query.source, query.target, query.window, &config);
+            let out = generate_tspg_with(graph, query.source, query.target, query.window, &config);
             QueryOutcome {
                 elapsed: out.report.total_elapsed(),
                 tspg_edges: out.report.result_edges,

@@ -70,10 +70,7 @@ fn parse_flags(args: &[String]) -> Result<(Vec<String>, HashMap<String, String>)
         if let Some(name) = arg.strip_prefix("--") {
             let value = match name {
                 "dot" => "true".to_string(),
-                _ => iter
-                    .next()
-                    .cloned()
-                    .ok_or_else(|| format!("--{name} expects a value"))?,
+                _ => iter.next().cloned().ok_or_else(|| format!("--{name} expects a value"))?,
             };
             flags.insert(name.to_string(), value);
         } else {
@@ -258,8 +255,18 @@ mod tests {
         let p = path.to_str().unwrap();
         for alg in ["vug", "epdt", "epes", "eptg"] {
             let out = dispatch(&args(&[
-                "query", p, "--source", "0", "--target", "7", "--begin", "2", "--end", "7",
-                "--algorithm", alg,
+                "query",
+                p,
+                "--source",
+                "0",
+                "--target",
+                "7",
+                "--begin",
+                "2",
+                "--end",
+                "7",
+                "--algorithm",
+                alg,
             ]))
             .unwrap();
             assert_eq!(out.lines().count(), 5, "summary plus four edges for {alg}: {out}");
@@ -294,7 +301,8 @@ mod tests {
 
     #[test]
     fn generate_command_writes_an_edge_list() {
-        let out_path = std::env::temp_dir().join(format!("tspg_cli_gen_{}.txt", std::process::id()));
+        let out_path =
+            std::env::temp_dir().join(format!("tspg_cli_gen_{}.txt", std::process::id()));
         let out = dispatch(&args(&[
             "generate",
             "--dataset",

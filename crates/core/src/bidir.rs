@@ -368,10 +368,8 @@ mod tests {
 
     #[test]
     fn self_loop_seed_is_rejected() {
-        let g = tspg_graph::TemporalGraph::from_edges(
-            2,
-            vec![tspg_graph::TemporalEdge::new(0, 0, 3)],
-        );
+        let g =
+            tspg_graph::TemporalGraph::from_edges(2, vec![tspg_graph::TemporalEdge::new(0, 0, 3)]);
         let mut searcher =
             BidirSearcher::new(&g, 0, 1, TimeInterval::new(1, 5), BidirOptions::default());
         assert!(searcher.find_path_through(0).is_none());

@@ -134,11 +134,7 @@ pub fn escaped_edges_verification_with(
     stats.bidir = searcher.stats();
 
     let tspg = EdgeSet::from_edges(
-        gt.edges()
-            .iter()
-            .enumerate()
-            .filter(|(id, _)| in_result[*id])
-            .map(|(_, e)| *e),
+        gt.edges().iter().enumerate().filter(|(id, _)| in_result[*id]).map(|(_, e)| *e),
     );
     EevOutcome { tspg, stats }
 }

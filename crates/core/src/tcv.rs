@@ -308,10 +308,7 @@ mod tests {
         // f: TCV_4(s,f) = {b,c,f}.
         assert_eq!(tcv.forward(fig1::F, 4).to_vec(), vec![fig1::B, fig1::C, fig1::F]);
         // e: TCV_5(s,e) = {b,c,f,e}.
-        assert_eq!(
-            tcv.forward(fig1::E, 5).to_vec(),
-            vec![fig1::B, fig1::C, fig1::E, fig1::F]
-        );
+        assert_eq!(tcv.forward(fig1::E, 5).to_vec(), vec![fig1::B, fig1::C, fig1::E, fig1::F]);
         // Lemma 5: a lookup between stored timestamps returns the earlier entry.
         assert_eq!(tcv.forward(fig1::C, 5).to_vec(), vec![fig1::B, fig1::C]);
         // The source itself always has an empty set.
@@ -382,7 +379,7 @@ mod tests {
         u: VertexId,
         tau: Timestamp,
     ) -> Option<Vec<VertexId>> {
-        let Some(sub_window) = window.with_end(tau) else { return None };
+        let sub_window = window.with_end(tau)?;
         let out =
             tspg_enum::enumerate_paths(graph, s, u, sub_window, &tspg_enum::Budget::unlimited());
         let mut acc: Option<BTreeSet<VertexId>> = None;
@@ -409,7 +406,7 @@ mod tests {
         u: VertexId,
         tau: Timestamp,
     ) -> Option<Vec<VertexId>> {
-        let Some(sub_window) = window.with_begin(tau) else { return None };
+        let sub_window = window.with_begin(tau)?;
         let out =
             tspg_enum::enumerate_paths(graph, u, t, sub_window, &tspg_enum::Budget::unlimited());
         let mut acc: Option<BTreeSet<VertexId>> = None;

@@ -36,11 +36,7 @@ pub fn tight_upper_bound_graph_from(
 }
 
 /// Computes the TCV tables and builds `G_t` in one call.
-pub fn tight_upper_bound_graph(
-    gq: &TemporalGraph,
-    s: VertexId,
-    t: VertexId,
-) -> TemporalGraph {
+pub fn tight_upper_bound_graph(gq: &TemporalGraph, s: VertexId, t: VertexId) -> TemporalGraph {
     let tcv = TcvTables::compute(gq, s, t);
     tight_upper_bound_graph_from(gq, &tcv, s, t)
 }
@@ -118,8 +114,7 @@ mod tests {
             let gq_set = EdgeSet::from_graph(&gq);
             let gt_set = EdgeSet::from_graph(&gt);
             assert!(gt_set.is_subset_of(&gq_set), "case {case}: G_t ⊄ G_q");
-            let exact =
-                tspg_enum::naive_tspg(&g, s, t, w, &tspg_enum::Budget::unlimited()).tspg;
+            let exact = tspg_enum::naive_tspg(&g, s, t, w, &tspg_enum::Budget::unlimited()).tspg;
             assert!(
                 exact.is_subset_of(&gt_set),
                 "case {case}: tspG ⊄ G_t (missing {:?})",

@@ -274,8 +274,7 @@ mod tests {
             let naive = tspg_enum::naive_tspg(&g, s, t, w, &tspg_enum::Budget::unlimited());
             assert_eq!(vug.tspg, naive.tspg, "case {case}: VUG vs naive");
             for alg in tspg_baselines::EpAlgorithm::ALL {
-                let ep =
-                    tspg_baselines::run_ep(alg, &g, s, t, w, &tspg_enum::Budget::unlimited());
+                let ep = tspg_baselines::run_ep(alg, &g, s, t, w, &tspg_enum::Budget::unlimited());
                 assert_eq!(vug.tspg, ep.tspg, "case {case}: VUG vs {alg}");
             }
             // Sandwich property: tspG ⊆ G_t ⊆ G_q.

@@ -104,16 +104,18 @@ impl GraphGenerator {
                 headway,
                 hop_time,
                 transfer_fraction,
-            } => generate_transit(
-                &mut rng,
-                *routes,
-                *stops_per_route,
-                *headway,
-                *hop_time,
-                *transfer_fraction,
-                self.num_timestamps as Timestamp,
-            )
-            .0,
+            } => {
+                generate_transit(
+                    &mut rng,
+                    *routes,
+                    *stops_per_route,
+                    *headway,
+                    *hop_time,
+                    *transfer_fraction,
+                    self.num_timestamps as Timestamp,
+                )
+                .0
+            }
         }
     }
 

@@ -91,20 +91,11 @@ pub fn latest_departure(
 }
 
 /// `true` if there is a strict temporal path from `s` to `t` within `window`.
-pub fn is_reachable(
-    graph: &TemporalGraph,
-    s: VertexId,
-    t: VertexId,
-    window: TimeInterval,
-) -> bool {
+pub fn is_reachable(graph: &TemporalGraph, s: VertexId, t: VertexId, window: TimeInterval) -> bool {
     if s == t {
         return (s as usize) < graph.num_vertices();
     }
-    earliest_arrival(graph, s, window)
-        .get(t as usize)
-        .copied()
-        .flatten()
-        .is_some()
+    earliest_arrival(graph, s, window).get(t as usize).copied().flatten().is_some()
 }
 
 #[cfg(test)]

@@ -105,8 +105,7 @@ impl DatasetSpec {
         let num_edges = ((self.full_edges as f64 / scale.size_divisor) as usize)
             .clamp(scale.min_edges, scale.max_edges);
         let density = self.full_edges as f64 / self.full_vertices as f64;
-        let num_vertices =
-            ((num_edges as f64 / (density * scale.density_boost)) as usize).max(24);
+        let num_vertices = ((num_edges as f64 / (density * scale.density_boost)) as usize).max(24);
         let theta = self.default_theta as usize;
         let num_timestamps = ((self.full_timestamps as f64 / scale.time_divisor) as usize)
             .clamp(3 * theta, 4 * theta);

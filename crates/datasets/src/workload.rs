@@ -103,9 +103,7 @@ impl<'g> WorkloadGenerator<'g> {
         let reachable: Vec<VertexId> = arrivals
             .iter()
             .enumerate()
-            .filter_map(|(v, a)| {
-                (a.is_some() && v != source as usize).then_some(v as VertexId)
-            })
+            .filter_map(|(v, a)| (a.is_some() && v != source as usize).then_some(v as VertexId))
             .collect();
         if reachable.is_empty() {
             return None;

@@ -113,7 +113,7 @@ impl BudgetClock {
         if let Some(max) = self.budget.max_time {
             // Checking the clock on every step would dominate tiny searches;
             // amortise it over 1024 steps.
-            if self.steps % 1024 == 0 && self.started.elapsed() > max {
+            if self.steps.is_multiple_of(1024) && self.started.elapsed() > max {
                 return Some(SearchStatus::TimedOut);
             }
         }
@@ -153,7 +153,10 @@ mod tests {
         assert_eq!(Budget::default(), Budget::unlimited());
         assert_eq!(Budget::steps(3).max_steps, Some(3));
         assert_eq!(Budget::paths(3).max_paths, Some(3));
-        assert_eq!(Budget::timeout(Duration::from_millis(2)).max_time, Some(Duration::from_millis(2)));
+        assert_eq!(
+            Budget::timeout(Duration::from_millis(2)).max_time,
+            Some(Duration::from_millis(2))
+        );
     }
 
     #[test]

@@ -299,9 +299,7 @@ mod tests {
         // 0 -> 1 -> 3 ... does not exist here, so expect exactly the
         // cycle-free path 0 -> 1 -> 2 -> 3.
         let mut b = TemporalGraphBuilder::new();
-        b.add_edge(0, 1, 1).add_edge(1, 2, 2).add_edge(2, 1, 3).add_edge(1, 3, 4).add_edge(
-            2, 3, 5,
-        );
+        b.add_edge(0, 1, 1).add_edge(1, 2, 2).add_edge(2, 1, 3).add_edge(1, 3, 4).add_edge(2, 3, 5);
         let g = b.build();
         let out = enumerate_paths(&g, 0, 3, TimeInterval::new(1, 10), &Budget::unlimited());
         let descriptions: Vec<String> = out.paths.iter().map(|p| p.to_string()).collect();
@@ -324,11 +322,7 @@ mod tests {
     fn diamond_graph_counts() {
         // Two internally disjoint routes of length 2 plus a direct edge.
         let mut b = TemporalGraphBuilder::new();
-        b.add_edge(0, 1, 1)
-            .add_edge(1, 3, 2)
-            .add_edge(0, 2, 2)
-            .add_edge(2, 3, 3)
-            .add_edge(0, 3, 5);
+        b.add_edge(0, 1, 1).add_edge(1, 3, 2).add_edge(0, 2, 2).add_edge(2, 3, 3).add_edge(0, 3, 5);
         let g = b.build();
         let c = count_paths(&g, 0, 3, TimeInterval::new(1, 5), &Budget::unlimited());
         assert_eq!(c.count, 3);

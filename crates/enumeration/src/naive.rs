@@ -113,9 +113,6 @@ mod tests {
         let (s, t, w) = figure1_query();
         let out = naive_tspg(&g, s, t, w, &Budget::unlimited());
         // e(s, b, 2) is shared by both paths but appears once in the set.
-        assert_eq!(
-            out.tspg.edges().iter().filter(|e| e.src == 0 && e.dst == 2).count(),
-            1
-        );
+        assert_eq!(out.tspg.edges().iter().filter(|e| e.src == 0 && e.dst == 2).count(), 1);
     }
 }

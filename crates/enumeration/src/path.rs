@@ -254,10 +254,7 @@ mod tests {
         assert_eq!(p.validate(1, 3, w).unwrap_err(), PathError::WrongTarget);
         // outside interval
         let p = TemporalPath::new(vec![edge(0, 1, 9)]).unwrap();
-        assert_eq!(
-            p.validate(0, 1, w).unwrap_err(),
-            PathError::OutsideInterval { position: 0 }
-        );
+        assert_eq!(p.validate(0, 1, w).unwrap_err(), PathError::OutsideInterval { position: 0 });
         // equal timestamps violate the *strict* constraint
         let p = TemporalPath::new(vec![edge(0, 1, 3), edge(1, 2, 3)]).unwrap();
         assert!(!p.is_strictly_ascending());
@@ -266,14 +263,10 @@ mod tests {
             PathError::NotStrictlyAscending { position: 0 }
         );
         // repeated vertex (a temporal cycle back to 1)
-        let p =
-            TemporalPath::new(vec![edge(0, 1, 3), edge(1, 2, 4), edge(2, 1, 5), edge(1, 3, 6)])
-                .unwrap();
+        let p = TemporalPath::new(vec![edge(0, 1, 3), edge(1, 2, 4), edge(2, 1, 5), edge(1, 3, 6)])
+            .unwrap();
         assert!(!p.is_simple());
-        assert_eq!(
-            p.validate(0, 3, w).unwrap_err(),
-            PathError::RepeatedVertex { vertex: 1 }
-        );
+        assert_eq!(p.validate(0, 3, w).unwrap_err(), PathError::RepeatedVertex { vertex: 1 });
     }
 
     #[test]

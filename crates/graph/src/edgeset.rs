@@ -216,10 +216,7 @@ mod tests {
     #[test]
     fn set_algebra() {
         let a = sample();
-        let b = EdgeSet::from_edges(vec![
-            TemporalEdge::new(0, 2, 2),
-            TemporalEdge::new(9, 9, 9),
-        ]);
+        let b = EdgeSet::from_edges(vec![TemporalEdge::new(0, 2, 2), TemporalEdge::new(9, 9, 9)]);
         assert_eq!(a.intersection(&b).num_edges(), 1);
         assert_eq!(a.union(&b).num_edges(), 5);
         assert_eq!(a.difference(&b).num_edges(), 3);

@@ -33,10 +33,9 @@ impl fmt::Display for GraphError {
             GraphError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
             }
-            GraphError::VertexOutOfRange { vertex, num_vertices } => write!(
-                f,
-                "vertex {vertex} out of range for graph with {num_vertices} vertices"
-            ),
+            GraphError::VertexOutOfRange { vertex, num_vertices } => {
+                write!(f, "vertex {vertex} out of range for graph with {num_vertices} vertices")
+            }
             GraphError::Empty(what) => write!(f, "operation requires a non-empty {what}"),
         }
     }

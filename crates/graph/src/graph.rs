@@ -47,11 +47,7 @@ impl TemporalGraph {
     pub fn from_edges(num_vertices: usize, mut edges: Vec<TemporalEdge>) -> Self {
         edges.sort_unstable();
         edges.dedup();
-        let required = edges
-            .iter()
-            .map(|e| (e.src.max(e.dst) as usize) + 1)
-            .max()
-            .unwrap_or(0);
+        let required = edges.iter().map(|e| (e.src.max(e.dst) as usize) + 1).max().unwrap_or(0);
         let num_vertices = num_vertices.max(required);
         let (out_offsets, out_entries) = build_adjacency(num_vertices, &edges, true);
         let (in_offsets, in_entries) = build_adjacency(num_vertices, &edges, false);
@@ -199,11 +195,7 @@ impl TemporalGraph {
             present[e.src as usize] = true;
             present[e.dst as usize] = true;
         }
-        present
-            .iter()
-            .enumerate()
-            .filter_map(|(v, &p)| p.then_some(v as VertexId))
-            .collect()
+        present.iter().enumerate().filter_map(|(v, &p)| p.then_some(v as VertexId)).collect()
     }
 
     /// The projected graph `G[τ_b, τ_e]`: same vertex id space, keeping only

@@ -105,10 +105,8 @@ fn parse_field<T: std::str::FromStr>(
     what: &str,
     lineno: usize,
 ) -> Result<T, GraphError> {
-    let raw = field.ok_or_else(|| GraphError::Parse {
-        line: lineno,
-        message: format!("missing {what}"),
-    })?;
+    let raw = field
+        .ok_or_else(|| GraphError::Parse { line: lineno, message: format!("missing {what}") })?;
     raw.parse::<T>().map_err(|_| GraphError::Parse {
         line: lineno,
         message: format!("invalid {what}: {raw:?}"),

@@ -58,7 +58,8 @@ fn main() {
             // The flows are exact: every printed transfer lies on at least
             // one ascending-time simple path from the cycle source to the
             // cycle target.
-            let check = naive_tspg(&graph, cycle_source, cycle_target, window, &Budget::unlimited());
+            let check =
+                naive_tspg(&graph, cycle_source, cycle_target, window, &Budget::unlimited());
             assert_eq!(check.tspg, result.tspg);
         }
     }

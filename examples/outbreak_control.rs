@@ -57,10 +57,8 @@ fn main() {
             *exposure.entry(e.src).or_default() += 1;
             *exposure.entry(e.dst).or_default() += 1;
         }
-        let mut ranked: Vec<_> = exposure
-            .into_iter()
-            .filter(|(v, _)| *v != q.source && *v != q.target)
-            .collect();
+        let mut ranked: Vec<_> =
+            exposure.into_iter().filter(|(v, _)| *v != q.source && *v != q.target).collect();
         ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         print!("  top containment candidates:");
         for (v, deg) in ranked.iter().take(5) {

@@ -17,7 +17,10 @@ fn main() {
 
     // 1. The paper's algorithm.
     let vug = generate_tspg(&graph, s, t, window);
-    println!("VUG result ({} edges, {} vertices):", vug.report.result_edges, vug.report.result_vertices);
+    println!(
+        "VUG result ({} edges, {} vertices):",
+        vug.report.result_edges, vug.report.result_vertices
+    );
     for e in vug.tspg.edges() {
         println!("  {e}");
     }

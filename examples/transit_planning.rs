@@ -45,20 +45,14 @@ fn main() {
     let (from, to, window, _) = best.expect("some hub pair is always connected");
     let result = generate_tspg(&graph, from, to, window);
 
-    println!(
-        "\nquery: {} -> {} within minutes {window}",
-        names[from as usize], names[to as usize]
-    );
+    println!("\nquery: {} -> {} within minutes {window}", names[from as usize], names[to as usize]);
     println!(
         "tspG: {} stops, {} scheduled hops participate in at least one itinerary",
         result.tspg.num_vertices(),
         result.tspg.num_edges()
     );
     for e in result.tspg.edges() {
-        println!(
-            "  depart {:>3}  {} -> {}",
-            e.time, names[e.src as usize], names[e.dst as usize]
-        );
+        println!("  depart {:>3}  {} -> {}", e.time, names[e.src as usize], names[e.dst as usize]);
     }
 
     // The number of distinct itineraries is typically much larger than the

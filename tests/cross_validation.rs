@@ -44,14 +44,9 @@ fn all_algorithms_agree_on_random_sparse_graphs() {
     let mut rng = StdRng::seed_from_u64(0xC0FFEE);
     for case_no in 0..120 {
         let case = random_case(&mut rng, 14, 70, 12);
-        let expected = naive_tspg(
-            &case.graph,
-            case.source,
-            case.target,
-            case.window,
-            &Budget::unlimited(),
-        )
-        .tspg;
+        let expected =
+            naive_tspg(&case.graph, case.source, case.target, case.window, &Budget::unlimited())
+                .tspg;
         let vug = generate_tspg(&case.graph, case.source, case.target, case.window);
         assert_eq!(vug.tspg, expected, "case {case_no}: VUG vs enumeration");
         for alg in EpAlgorithm::ALL {
@@ -75,14 +70,9 @@ fn all_algorithms_agree_on_random_dense_graphs() {
     let mut rng = StdRng::seed_from_u64(0xBEEF);
     for case_no in 0..40 {
         let case = random_case(&mut rng, 9, 160, 7);
-        let expected = naive_tspg(
-            &case.graph,
-            case.source,
-            case.target,
-            case.window,
-            &Budget::unlimited(),
-        )
-        .tspg;
+        let expected =
+            naive_tspg(&case.graph, case.source, case.target, case.window, &Budget::unlimited())
+                .tspg;
         let vug = generate_tspg(&case.graph, case.source, case.target, case.window);
         assert_eq!(vug.tspg, expected, "case {case_no}");
         let no_tight = generate_tspg_with(
@@ -102,10 +92,18 @@ fn upper_bound_graphs_nest_and_contain_the_result() {
     for case_no in 0..80 {
         let case = random_case(&mut rng, 16, 90, 14);
         let projection = EdgeSet::from_graph(&case.graph.project(case.window));
-        let es =
-            EdgeSet::from_graph(&baselines::es_tsg(&case.graph, case.source, case.target, case.window));
-        let tg =
-            EdgeSet::from_graph(&baselines::tg_tsg(&case.graph, case.source, case.target, case.window));
+        let es = EdgeSet::from_graph(&baselines::es_tsg(
+            &case.graph,
+            case.source,
+            case.target,
+            case.window,
+        ));
+        let tg = EdgeSet::from_graph(&baselines::tg_tsg(
+            &case.graph,
+            case.source,
+            case.target,
+            case.window,
+        ));
         let gq = core::quick_upper_bound_graph(&case.graph, case.source, case.target, case.window);
         let gq_set = EdgeSet::from_graph(&gq);
         let gt = core::tight_upper_bound_graph(&gq, case.source, case.target);
@@ -164,7 +162,10 @@ fn batch_workloads_on_registry_datasets_are_consistent() {
                 &Budget::unlimited(),
             );
             assert_eq!(vug.tspg, ep.tspg, "dataset {} query {q:?}", spec.id);
-            assert!(!vug.tspg.is_empty(), "workload queries are reachable, so the tspG is non-empty");
+            assert!(
+                !vug.tspg.is_empty(),
+                "workload queries are reachable, so the tspG is non-empty"
+            );
         }
     }
 }

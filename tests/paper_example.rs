@@ -76,13 +76,7 @@ fn example_8_tight_upper_bound_graph() {
     // final tspG — it is the one edge EEV has to reject by search.
     assert!(gt.has_edge(3, 6, 4));
     assert_eq!(gt.num_edges(), 5);
-    let eev = core::escaped_edges_verification(
-        &gt,
-        s,
-        t,
-        w,
-        core::BidirOptions::default(),
-    );
+    let eev = core::escaped_edges_verification(&gt, s, t, w, core::BidirOptions::default());
     assert_eq!(eev.stats.rejected, 1);
     assert_eq!(eev.tspg.num_edges(), 4);
 }
@@ -93,10 +87,7 @@ fn all_five_algorithms_agree_on_the_running_example() {
     let (s, t, w) = figure1_query();
     let expected = EdgeSet::from_edges(graph::fixtures::figure1_expected_tspg_edges());
     assert_eq!(generate_tspg(&g, s, t, w).tspg, expected);
-    assert_eq!(
-        enumeration::naive_tspg(&g, s, t, w, &Budget::unlimited()).tspg,
-        expected
-    );
+    assert_eq!(enumeration::naive_tspg(&g, s, t, w, &Budget::unlimited()).tspg, expected);
     for alg in EpAlgorithm::ALL {
         assert_eq!(run_ep(alg, &g, s, t, w, &Budget::unlimited()).tspg, expected);
     }
@@ -109,8 +100,5 @@ fn graph_io_roundtrip_preserves_query_results() {
     let mut buffer = Vec::new();
     graph::io::write_edge_list(&g, &mut buffer).unwrap();
     let reloaded = graph::io::read_edge_list(&buffer[..]).unwrap();
-    assert_eq!(
-        generate_tspg(&reloaded, s, t, w).tspg,
-        generate_tspg(&g, s, t, w).tspg
-    );
+    assert_eq!(generate_tspg(&reloaded, s, t, w).tspg, generate_tspg(&g, s, t, w).tspg);
 }

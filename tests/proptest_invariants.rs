@@ -13,13 +13,14 @@ const MAX_TIME: i64 = 10;
 fn graph_and_query() -> impl Strategy<Value = (TemporalGraph, VertexId, VertexId, TimeInterval)> {
     let edge = (0..MAX_VERTICES, 0..MAX_VERTICES, 1..=MAX_TIME)
         .prop_map(|(u, v, t)| TemporalEdge::new(u, v, t));
-    (vec(edge, 1..60), 0..MAX_VERTICES, 0..MAX_VERTICES, 1..=MAX_TIME, 0..MAX_TIME)
-        .prop_map(|(edges, s, t, begin, extra)| {
+    (vec(edge, 1..60), 0..MAX_VERTICES, 0..MAX_VERTICES, 1..=MAX_TIME, 0..MAX_TIME).prop_map(
+        |(edges, s, t, begin, extra)| {
             let edges: Vec<TemporalEdge> = edges.into_iter().filter(|e| e.src != e.dst).collect();
             let graph = TemporalGraph::from_edges(MAX_VERTICES as usize, edges);
             let end = (begin + extra).min(MAX_TIME);
             (graph, s, t, TimeInterval::new(begin, end))
-        })
+        },
+    )
 }
 
 proptest! {

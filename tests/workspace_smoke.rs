@@ -1,0 +1,42 @@
+//! Workspace smoke test: the single assertion CI relies on to prove the
+//! whole dependency DAG is wired — `tspg_suite::prelude` must round-trip
+//! the paper's Figure 1 fixture through the full VUG pipeline.
+
+use tspg_suite::prelude::*;
+
+#[test]
+fn prelude_round_trips_the_figure1_fixture() {
+    // Fixture and query come from `tspg_graph`, the algorithm from
+    // `tspg_core`, all re-exported by the umbrella prelude.
+    let g = figure1_graph();
+    let (s, t, w) = figure1_query();
+    let result = generate_tspg(&g, s, t, w);
+    // Fig. 1(c): the tspG of the example query has exactly 4 edges.
+    assert_eq!(result.tspg.num_edges(), 4);
+    assert_eq!(result.tspg.num_vertices(), 4);
+}
+
+#[test]
+fn prelude_reaches_every_member_crate() {
+    let g = figure1_graph();
+    let (s, t, w) = figure1_query();
+
+    // tspg_enum: exhaustive enumeration agrees with Fig. 1(b).
+    let out = enumerate_paths(&g, s, t, w, &Budget::unlimited());
+    assert_eq!(out.paths.len(), 2);
+
+    // tspg_baselines: every EP* baseline produces the same tspG as VUG.
+    let vug = generate_tspg(&g, s, t, w).tspg;
+    for algorithm in [EpAlgorithm::DtTsg, EpAlgorithm::EsTsg, EpAlgorithm::TgTsg] {
+        let ep = run_ep(algorithm, &g, s, t, w, &Budget::unlimited());
+        assert_eq!(ep.tspg, vug, "{} disagrees with VUG", algorithm.name());
+    }
+
+    // tspg_datasets: the registry generates non-trivial graphs with
+    // satisfiable workloads.
+    let spec = &registry()[0];
+    let graph = spec.generate(Scale::tiny(), 42);
+    assert!(graph.num_edges() > 0);
+    let queries = generate_workload(&graph, 3, 6, 42);
+    assert_eq!(queries.len(), 3);
+}

@@ -1,0 +1,270 @@
+//! Minimal offline stand-in for the
+//! [`proptest`](https://crates.io/crates/proptest) property-testing crate.
+//!
+//! It provides the subset used by `tests/proptest_invariants.rs`:
+//!
+//! * the [`Strategy`] trait with [`Strategy::prop_map`], implemented for
+//!   integer ranges and tuples of strategies,
+//! * [`collection::vec`],
+//! * the [`proptest!`] macro (with `#![proptest_config(..)]` support) plus
+//!   [`prop_assert!`], [`prop_assert_eq!`] and [`prop_assume!`],
+//! * [`ProptestConfig`] with `with_cases`.
+//!
+//! Unlike the real crate there is **no shrinking**: a failing case reports
+//! the case number and the deterministic per-test seed, which — together
+//! with the fixed RNG in the shim — is enough to reproduce it. Generation
+//! is deterministic per test name, so failures are stable across runs.
+//! Swapping the real crate back in is a one-line change in the root
+//! `Cargo.toml`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::Strategy;
+
+/// Runner configuration (only `cases` is honoured by the shim).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful test cases each property must pass.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// How a single test case ended, when it did not simply succeed.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the property is falsified.
+    Fail(String),
+    /// `prop_assume!` rejected the input; the case does not count.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self::Fail(message.into())
+    }
+
+    /// Creates a rejection with the given message.
+    pub fn reject(message: impl Into<String>) -> Self {
+        Self::Reject(message.into())
+    }
+}
+
+/// FNV-1a, used to derive a per-test RNG stream from the test name.
+fn fnv1a(text: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in text.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Drives one property: generates inputs and runs the test body until
+/// `config.cases` cases pass. Called by the [`proptest!`] expansion; not
+/// part of the public proptest API.
+pub fn run_cases<S, F>(config: &ProptestConfig, test_name: &str, strategy: &S, mut body: F)
+where
+    S: Strategy,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    let seed = fnv1a(test_name);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut passed = 0u32;
+    let mut rejected = 0u64;
+    let max_rejects = u64::from(config.cases) * 16 + 1024;
+    let mut case = 0u64;
+    while passed < config.cases {
+        let value = strategy.generate(&mut rng);
+        case += 1;
+        match body(value) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= max_rejects,
+                    "{test_name}: too many prop_assume! rejections \
+                     ({rejected} rejects for {passed} passes)"
+                );
+            }
+            Err(TestCaseError::Fail(message)) => {
+                panic!(
+                    "{test_name}: property falsified at case #{case} \
+                     (seed 0x{seed:016x}, no shrinking in the offline shim)\n{message}"
+                );
+            }
+        }
+    }
+}
+
+/// Glob import mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+    };
+}
+
+/// Declares property tests. Supports an optional leading
+/// `#![proptest_config(expr)]` and any number of
+/// `fn name(pattern in strategy) { .. }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; do not use directly.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr) $( $(#[$meta:meta])* fn $name:ident($pattern:pat in $strat:expr) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let strategy = $strat;
+                $crate::run_cases(
+                    &config,
+                    stringify!($name),
+                    &strategy,
+                    |value| -> ::core::result::Result<(), $crate::TestCaseError> {
+                        let $pattern = value;
+                        $body
+                        ::core::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Fallible assertion inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fallible equality assertion inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+}
+
+/// Fallible inequality assertion inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+/// Rejects the current case without failing the property.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Range strategies stay in bounds and tuples compose.
+        #[test]
+        fn ranges_and_tuples((a, b, t) in (0u32..10, 0u32..10, 1i64..=5)) {
+            prop_assert!(a < 10);
+            prop_assert!(b < 10);
+            prop_assert!((1..=5).contains(&t));
+        }
+
+        /// `prop_map` and `collection::vec` compose; assume rejects work.
+        #[test]
+        fn map_vec_and_assume(values in crate::collection::vec((0u32..100).prop_map(|x| x * 2), 1..20)) {
+            prop_assume!(!values.is_empty());
+            prop_assert!(values.len() < 20);
+            for v in &values {
+                prop_assert_eq!(v % 2, 0);
+            }
+        }
+
+        /// Bare range strategies work as direct arguments.
+        #[test]
+        fn bare_range(seed in 0u64..500) {
+            prop_assert!(seed < 500);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property falsified")]
+    fn failing_property_panics() {
+        crate::run_cases(&ProptestConfig::with_cases(8), "failing_property", &(0u32..4), |x| {
+            prop_assert!(x < 3, "x was {x}");
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_test_name() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let strategy = (0u32..1000, 0i64..=999).prop_map(|(a, b)| (a, b));
+        let mut r1 = StdRng::seed_from_u64(1);
+        let mut r2 = StdRng::seed_from_u64(1);
+        for _ in 0..32 {
+            assert_eq!(strategy.generate(&mut r1), strategy.generate(&mut r2));
+        }
+    }
+}
