@@ -1,0 +1,37 @@
+//! Criterion benchmark behind Exp-9: per-query one-shot `generate_tspg`
+//! (all working state allocated afresh every call) versus the batch query
+//! engine's scratch-reusing sequential path on identical workloads.
+//!
+//! Scratch reuse must never regress latency: the `engine-batch` series is
+//! expected to match or beat `one-shot` on every dataset.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tspg_bench::harness::HarnessConfig;
+use tspg_core::{generate_tspg, QueryEngine, QuerySpec};
+
+fn bench_batch_engine(c: &mut Criterion) {
+    let cfg = HarnessConfig::smoke();
+    let mut group = c.benchmark_group("exp9_batch");
+    group.sample_size(10);
+    for id in ["D1", "D7"] {
+        let spec = tspg_datasets::find(id).unwrap();
+        let prepared = cfg.prepare(&spec);
+        let queries: Vec<QuerySpec> = prepared.queries.iter().take(10).copied().collect();
+        group.bench_with_input(BenchmarkId::new("one-shot", id), &queries, |b, queries| {
+            b.iter(|| {
+                for q in queries {
+                    black_box(generate_tspg(&prepared.graph, q.source, q.target, q.window));
+                }
+            })
+        });
+        let engine = QueryEngine::new(prepared.graph.clone());
+        group.bench_with_input(BenchmarkId::new("engine-batch", id), &queries, |b, queries| {
+            b.iter(|| black_box(engine.run_batch(queries, 1)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_engine);
+criterion_main!(benches);

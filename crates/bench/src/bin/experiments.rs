@@ -17,6 +17,7 @@
 //!   exp6       EEV vs enumeration on G_t                (Fig. 11)
 //!   exp7       number of paths vs edges in the tspG     (Fig. 12)
 //!   exp8       transit case study                       (Fig. 13)
+//!   batch      batch query engine throughput            (Exp-9, beyond the paper)
 //!
 //! OPTIONS
 //!   --scale tiny|small|medium   dataset scale                (default small)
@@ -24,6 +25,7 @@
 //!   --datasets D1,D3,...        restrict the datasets
 //!   --seed N                    RNG seed                     (default 0x5eed)
 //!   --budget-ms N               per-query baseline budget    (default 2000)
+//!   --threads N                 batch experiment workers     (default 2)
 //! ```
 
 use std::process::ExitCode;
@@ -49,6 +51,7 @@ fn main() -> ExitCode {
 fn run(args: &[String]) -> Result<(), String> {
     let mut command: Option<String> = None;
     let mut cfg = HarnessConfig::default();
+    let mut threads: usize = 2;
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -80,6 +83,14 @@ fn run(args: &[String]) -> Result<(), String> {
                     .map_err(|_| "invalid --budget-ms value".to_string())?;
                 cfg.baseline_budget =
                     Budget::timeout(Duration::from_millis(ms)).with_max_steps(50_000_000);
+            }
+            "--threads" => {
+                threads = next_value(&mut iter, "--threads")?
+                    .parse()
+                    .map_err(|_| "invalid --threads value".to_string())?;
+                if threads == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
             }
             "--datasets" => {
                 cfg.datasets = next_value(&mut iter, "--datasets")?
@@ -125,6 +136,7 @@ fn run(args: &[String]) -> Result<(), String> {
             println!("{}", table.render());
             println!("Graphviz DOT of the case-study tspG:\n{dot}");
         }
+        "batch" => print(vec![exp9_batch_throughput(&cfg, threads)]),
         "all" => {
             print(vec![table1_datasets(&cfg)]);
             print(vec![exp1_response_time(&cfg)]);
@@ -139,6 +151,7 @@ fn run(args: &[String]) -> Result<(), String> {
             let (table, dot) = exp8_case_study(cfg.seed);
             println!("{}", table.render());
             println!("Graphviz DOT of the case-study tspG:\n{dot}");
+            print(vec![exp9_batch_throughput(&cfg, threads)]);
         }
         other => return Err(format!("unknown subcommand {other:?}")),
     }
@@ -156,8 +169,8 @@ fn print_help() {
     println!(
         "experiments — reproduce the paper's tables and figures\n\n\
          usage: experiments [SUBCOMMAND] [--scale tiny|small|medium] [--queries N]\n\
-                [--datasets D1,D2,...] [--seed N] [--budget-ms N]\n\n\
+                [--datasets D1,D2,...] [--seed N] [--budget-ms N] [--threads N]\n\n\
          subcommands: all (default), table1, exp1, exp2, exp3, exp4, table2,\n\
-                      exp5, exp5-theta, exp6, exp7, exp8"
+                      exp5, exp5-theta, exp6, exp7, exp8, batch"
     );
 }

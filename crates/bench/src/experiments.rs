@@ -7,7 +7,10 @@ use crate::harness::{
 };
 use std::time::Instant;
 use tspg_baselines::EpAlgorithm;
-use tspg_core::{generate_tspg, quick_upper_bound_graph, tight_upper_bound_graph};
+use tspg_core::{
+    generate_tspg, quick_upper_bound_graph, tight_upper_bound_graph, QueryEngine, QuerySpec,
+    VugResult,
+};
 use tspg_datasets::generate_transit;
 use tspg_enum::{count_paths, naive_tspg};
 use tspg_graph::{GraphStats, TimeInterval};
@@ -367,6 +370,78 @@ pub fn exp7_paths_vs_edges(cfg: &HarnessConfig, dataset_ids: &[&str]) -> Vec<Tab
     tables
 }
 
+/// Exp-9 (beyond the paper): throughput of the batch query engine.
+///
+/// For every selected dataset the same workload is answered three ways —
+/// per-query one-shot `generate_tspg` calls (allocating all working state
+/// afresh each time), the engine's sequential batch path (scratch reuse,
+/// one worker), and the engine's parallel batch path (`threads` scoped
+/// workers) — and the table reports wall-clock time and queries/second for
+/// each, plus whether all three produced byte-identical result sets.
+pub fn exp9_batch_throughput(cfg: &HarnessConfig, threads: usize) -> Table {
+    let threads = threads.max(1);
+    let mut table = Table::new(
+        format!("Exp-9 — batch query engine throughput (parallel path: {threads} threads)"),
+        &[
+            "dataset",
+            "queries",
+            "one-shot",
+            "batch x1",
+            &format!("batch x{threads}"),
+            "one-shot q/s",
+            "batch x1 q/s",
+            &format!("batch x{threads} q/s"),
+            "identical",
+        ],
+    );
+    for spec in cfg.selected_specs() {
+        let prepared = cfg.prepare(&spec);
+        // `Query` and the engine's `QuerySpec` are the same workspace type,
+        // so the workload slice is passed through as-is.
+        let queries: &[QuerySpec] = &prepared.queries;
+
+        let started = Instant::now();
+        let one_shot: Vec<VugResult> = queries
+            .iter()
+            .map(|q| generate_tspg(&prepared.graph, q.source, q.target, q.window))
+            .collect();
+        let one_shot_time = started.elapsed();
+
+        let engine = QueryEngine::new(prepared.graph.clone());
+        let started = Instant::now();
+        let batch_seq = engine.run_batch(queries, 1);
+        let seq_time = started.elapsed();
+        let started = Instant::now();
+        let batch_par = engine.run_batch(queries, threads);
+        let par_time = started.elapsed();
+
+        let identical = one_shot
+            .iter()
+            .zip(batch_seq.iter())
+            .zip(batch_par.iter())
+            .all(|((a, b), c)| a.tspg == b.tspg && b.tspg == c.tspg);
+        let qps = |d: std::time::Duration| -> String {
+            if d.as_secs_f64() > 0.0 {
+                format!("{:.0}", queries.len() as f64 / d.as_secs_f64())
+            } else {
+                "-".to_string()
+            }
+        };
+        table.push_row(vec![
+            prepared.id.clone(),
+            queries.len().to_string(),
+            format_duration(one_shot_time),
+            format_duration(seq_time),
+            format_duration(par_time),
+            qps(one_shot_time),
+            qps(seq_time),
+            qps(par_time),
+            identical.to_string(),
+        ]);
+    }
+    table
+}
+
 /// Exp-8 / Fig. 13: the transit case study. Generates a synthetic bus
 /// schedule (the SFMTA substitute), picks a transfer-rich query, and renders
 /// the resulting tspG both as a table and as Graphviz DOT.
@@ -472,6 +547,15 @@ mod tests {
         assert_eq!(t[0].num_rows(), 3);
         let t = exp7_paths_vs_edges(&cfg, &["D1"]);
         assert_eq!(t[0].num_rows(), 3);
+    }
+
+    #[test]
+    fn exp9_reports_identical_results_across_execution_modes() {
+        let t = exp9_batch_throughput(&smoke_cfg(), 2);
+        assert_eq!(t.num_rows(), 1);
+        let text = t.render();
+        assert!(text.contains("true"), "{text}");
+        assert!(!text.contains("false"), "{text}");
     }
 
     #[test]

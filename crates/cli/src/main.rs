@@ -6,16 +6,21 @@
 //! tspg query <edge-list> --source S --target T --begin B --end E
 //!            [--algorithm vug|epdt|epes|eptg] [--dot]
 //! tspg paths <edge-list> --source S --target T --begin B --end E [--limit N]
+//! tspg workload <edge-list> --queries N --theta T [--seed N] [--output FILE]
+//! tspg batch <edge-list> <query-file> [--threads N] [--quiet]
 //! ```
 //!
 //! The edge-list format is one `src dst timestamp` triple per line (`#` and
-//! `%` start comments), the same format used by SNAP/KONECT dumps.
+//! `%` start comments), the same format used by SNAP/KONECT dumps. Query
+//! files hold one `source target begin end` quadruple per line with the
+//! same comment rules.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::time::Instant;
 use tspg_baselines::{run_ep, EpAlgorithm};
-use tspg_core::generate_tspg;
-use tspg_datasets::{find, Scale};
+use tspg_core::{generate_tspg, QueryEngine, QuerySpec};
+use tspg_datasets::{find, format_queries, generate_workload, parse_queries, Scale};
 use tspg_enum::{enumerate_paths, Budget};
 use tspg_graph::{io, GraphStats, TemporalGraph, TimeInterval, VertexId};
 
@@ -45,6 +50,8 @@ fn dispatch(args: &[String]) -> Result<String, String> {
         "generate" => cmd_generate(rest),
         "query" => cmd_query(rest),
         "paths" => cmd_paths(rest),
+        "workload" => cmd_workload(rest),
+        "batch" => cmd_batch(rest),
         other => Err(format!("unknown command {other:?}")),
     }
 }
@@ -57,7 +64,9 @@ fn usage() -> String {
        tspg generate --dataset D1 [--scale tiny|small|medium] [--seed N] [--output FILE]\n\
        tspg query <edge-list> --source S --target T --begin B --end E\n\
                   [--algorithm vug|epdt|epes|eptg] [--dot]\n\
-       tspg paths <edge-list> --source S --target T --begin B --end E [--limit N]\n"
+       tspg paths <edge-list> --source S --target T --begin B --end E [--limit N]\n\
+       tspg workload <edge-list> --queries N --theta T [--seed N] [--output FILE]\n\
+       tspg batch <edge-list> <query-file> [--threads N] [--quiet]\n"
         .to_string()
 }
 
@@ -69,7 +78,7 @@ fn parse_flags(args: &[String]) -> Result<(Vec<String>, HashMap<String, String>)
     while let Some(arg) = iter.next() {
         if let Some(name) = arg.strip_prefix("--") {
             let value = match name {
-                "dot" => "true".to_string(),
+                "dot" | "quiet" => "true".to_string(),
                 _ => iter.next().cloned().ok_or_else(|| format!("--{name} expects a value"))?,
             };
             flags.insert(name.to_string(), value);
@@ -215,6 +224,90 @@ fn cmd_paths(args: &[String]) -> Result<String, String> {
     Ok(text)
 }
 
+fn cmd_workload(args: &[String]) -> Result<String, String> {
+    let (positional, flags) = parse_flags(args)?;
+    let path = positional.first().ok_or("workload requires an edge-list path")?;
+    let graph = load_graph(path)?;
+    let num_queries: usize = parse_number(required(&flags, "queries")?, "query count")?;
+    let theta: i64 = parse_number(required(&flags, "theta")?, "theta")?;
+    let seed: u64 = match flags.get("seed") {
+        Some(v) => parse_number(v, "seed")?,
+        None => 42,
+    };
+    let queries = generate_workload(&graph, num_queries, theta, seed);
+    if queries.len() < num_queries {
+        eprintln!(
+            "warning: only {} of {num_queries} queries could be generated \
+             (graph too sparse for theta={theta})",
+            queries.len()
+        );
+    }
+    let text = format_queries(&queries);
+    match flags.get("output") {
+        Some(out_path) => {
+            std::fs::write(out_path, &text).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+            Ok(format!(
+                "wrote {} ({} queries, theta={theta}, seed={seed})\n",
+                out_path,
+                queries.len()
+            ))
+        }
+        None => Ok(text),
+    }
+}
+
+fn cmd_batch(args: &[String]) -> Result<String, String> {
+    let (positional, flags) = parse_flags(args)?;
+    let graph_path = positional.first().ok_or("batch requires an edge-list path")?;
+    let query_path = positional.get(1).ok_or("batch requires a query-file path")?;
+    let threads: usize = match flags.get("threads") {
+        Some(v) => parse_number(v, "thread count")?,
+        None => 1,
+    };
+    if threads == 0 {
+        return Err("--threads must be at least 1".to_string());
+    }
+    let quiet = flags.contains_key("quiet");
+    let graph = load_graph(graph_path)?;
+    let text = std::fs::read_to_string(query_path)
+        .map_err(|e| format!("cannot read {query_path}: {e}"))?;
+    let queries: Vec<QuerySpec> = parse_queries(&text).map_err(|e| format!("{query_path}: {e}"))?;
+    if queries.is_empty() {
+        return Err(format!("{query_path} contains no queries"));
+    }
+
+    let engine = QueryEngine::new(graph);
+    let started = Instant::now();
+    let results = engine.run_batch(&queries, threads);
+    let wall = started.elapsed();
+
+    let mut out = String::new();
+    let mut total_edges = 0u64;
+    let mut slowest = std::time::Duration::ZERO;
+    for (i, (q, r)) in queries.iter().zip(results.iter()).enumerate() {
+        let elapsed = r.report.total_elapsed();
+        slowest = slowest.max(elapsed);
+        total_edges += r.report.result_edges as u64;
+        if !quiet {
+            out.push_str(&format!(
+                "#{i} {}->{} {} edges={} vertices={} time={elapsed:?}\n",
+                q.source, q.target, q.window, r.report.result_edges, r.report.result_vertices,
+            ));
+        }
+    }
+    let qps = if wall.as_secs_f64() > 0.0 {
+        results.len() as f64 / wall.as_secs_f64()
+    } else {
+        f64::INFINITY
+    };
+    out.push_str(&format!(
+        "answered {} queries in {wall:?} ({qps:.0} queries/s, threads={threads}, \
+         slowest={slowest:?}, total tspG edges={total_edges})\n",
+        results.len(),
+    ));
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -319,6 +412,85 @@ mod tests {
         let reloaded = io::read_edge_list_file(&out_path).unwrap();
         assert!(reloaded.num_edges() > 0);
         std::fs::remove_file(out_path).ok();
+    }
+
+    #[test]
+    fn workload_and_batch_commands_roundtrip() {
+        let graph_path = fixture_file();
+        let g = graph_path.to_str().unwrap();
+        let query_path = std::env::temp_dir().join(format!(
+            "tspg_cli_batch_{}_{:?}.txt",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let q = query_path.to_str().unwrap();
+
+        // Generate a query file over the fixture graph...
+        let out = dispatch(&args(&[
+            "workload",
+            g,
+            "--queries",
+            "8",
+            "--theta",
+            "6",
+            "--seed",
+            "3",
+            "--output",
+            q,
+        ]))
+        .unwrap();
+        assert!(out.starts_with("wrote"), "{out}");
+
+        // ...answer it sequentially and with 2 worker threads...
+        let sequential = dispatch(&args(&["batch", g, q])).unwrap();
+        assert!(sequential.contains("queries/s"), "{sequential}");
+        assert!(sequential.contains("threads=1"), "{sequential}");
+        let parallel = dispatch(&args(&["batch", g, q, "--threads", "2"])).unwrap();
+        assert!(parallel.contains("threads=2"), "{parallel}");
+
+        // ...and check the per-query lines agree between the two runs
+        // (everything except the timings is deterministic).
+        let strip = |text: &str| -> Vec<String> {
+            text.lines()
+                .filter(|l| l.starts_with('#'))
+                .map(|l| l.split(" time=").next().unwrap().to_string())
+                .collect()
+        };
+        assert_eq!(strip(&sequential), strip(&parallel));
+        assert_eq!(strip(&sequential).len(), 8);
+
+        // --quiet keeps only the aggregate line.
+        let quiet = dispatch(&args(&["batch", g, q, "--quiet"])).unwrap();
+        assert_eq!(quiet.lines().count(), 1, "{quiet}");
+
+        std::fs::remove_file(graph_path).ok();
+        std::fs::remove_file(query_path).ok();
+    }
+
+    #[test]
+    fn batch_command_rejects_bad_inputs() {
+        let graph_path = fixture_file();
+        let g = graph_path.to_str().unwrap();
+        let err = dispatch(&args(&["batch", g])).unwrap_err();
+        assert!(err.contains("query-file"), "{err}");
+        let err = dispatch(&args(&["batch", g, "/definitely/not/a/file"])).unwrap_err();
+        assert!(err.contains("cannot read"), "{err}");
+        let bad_path = std::env::temp_dir().join(format!(
+            "tspg_cli_badq_{}_{:?}.txt",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::write(&bad_path, "0 7 2 bogus\n").unwrap();
+        let err = dispatch(&args(&["batch", g, bad_path.to_str().unwrap()])).unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        std::fs::write(&bad_path, "# only comments\n").unwrap();
+        let err = dispatch(&args(&["batch", g, bad_path.to_str().unwrap()])).unwrap_err();
+        assert!(err.contains("no queries"), "{err}");
+        let err = dispatch(&args(&["batch", g, bad_path.to_str().unwrap(), "--threads", "0"]))
+            .unwrap_err();
+        assert!(err.contains("--threads"), "{err}");
+        std::fs::remove_file(bad_path).ok();
+        std::fs::remove_file(graph_path).ok();
     }
 
     #[test]

@@ -49,6 +49,20 @@ pub struct BidirStats {
     pub expansions: u64,
 }
 
+/// The reusable buffers of a [`BidirSearcher`]: the shared visited bitmap
+/// (with its undo log) and the two half-path edge stacks.
+///
+/// Extracting the scratch from a finished searcher with
+/// [`BidirSearcher::into_scratch`] and threading it into the next query's
+/// searcher keeps the DFS allocation-free across a whole batch.
+#[derive(Clone, Debug, Default)]
+pub struct BidirScratch {
+    visited: Vec<bool>,
+    touched: Vec<VertexId>,
+    forward_edges: Vec<EdgeId>,
+    backward_edges: Vec<EdgeId>,
+}
+
 /// Reusable bidirectional searcher over one tight upper-bound graph.
 #[derive(Debug)]
 pub struct BidirSearcher<'g> {
@@ -57,10 +71,7 @@ pub struct BidirSearcher<'g> {
     target: VertexId,
     window: TimeInterval,
     options: BidirOptions,
-    visited: Vec<bool>,
-    touched: Vec<VertexId>,
-    forward_edges: Vec<EdgeId>,
-    backward_edges: Vec<EdgeId>,
+    scratch: BidirScratch,
     stats: BidirStats,
 }
 
@@ -79,18 +90,30 @@ impl<'g> BidirSearcher<'g> {
         window: TimeInterval,
         options: BidirOptions,
     ) -> Self {
-        Self {
-            graph,
-            source,
-            target,
-            window,
-            options,
-            visited: vec![false; graph.num_vertices()],
-            touched: Vec::new(),
-            forward_edges: Vec::new(),
-            backward_edges: Vec::new(),
-            stats: BidirStats::default(),
-        }
+        Self::with_scratch(graph, source, target, window, options, BidirScratch::default())
+    }
+
+    /// Creates a searcher that reuses the buffers of a previous searcher
+    /// (recover them with [`BidirSearcher::into_scratch`]).
+    pub fn with_scratch(
+        graph: &'g TemporalGraph,
+        source: VertexId,
+        target: VertexId,
+        window: TimeInterval,
+        options: BidirOptions,
+        mut scratch: BidirScratch,
+    ) -> Self {
+        scratch.visited.clear();
+        scratch.visited.resize(graph.num_vertices(), false);
+        scratch.touched.clear();
+        scratch.forward_edges.clear();
+        scratch.backward_edges.clear();
+        Self { graph, source, target, window, options, scratch, stats: BidirStats::default() }
+    }
+
+    /// Consumes the searcher and returns its buffers for reuse.
+    pub fn into_scratch(self) -> BidirScratch {
+        self.scratch
     }
 
     /// Counters accumulated so far.
@@ -102,12 +125,21 @@ impl<'g> BidirSearcher<'g> {
     /// edge. On success returns the path as edge ids of the underlying graph
     /// in order from `s` to `t` (the seed edge included).
     pub fn find_path_through(&mut self, seed: EdgeId) -> Option<Vec<EdgeId>> {
+        let mut path = Vec::new();
+        self.find_path_through_into(seed, &mut path).then_some(path)
+    }
+
+    /// Buffer-reusing variant of [`BidirSearcher::find_path_through`]: on
+    /// success fills `path` with the witness and returns `true` (the hot-path
+    /// form used by EEV, which reuses one path buffer per worker).
+    pub fn find_path_through_into(&mut self, seed: EdgeId, path: &mut Vec<EdgeId>) -> bool {
+        path.clear();
         self.reset();
         self.stats.searches += 1;
         let edge = self.graph.edge(seed);
         let (u0, v0, tau0) = (edge.src, edge.dst, edge.time);
         if u0 == v0 {
-            return None;
+            return false;
         }
         self.mark(u0);
         self.mark(v0);
@@ -124,35 +156,35 @@ impl<'g> BidirSearcher<'g> {
             self.search(Half::Backward, u0, tau0, Some((v0, tau0)))
         };
         if !found {
-            return None;
+            return false;
         }
         self.stats.successes += 1;
-        let mut path: Vec<EdgeId> = self.backward_edges.iter().rev().copied().collect();
+        path.extend(self.scratch.backward_edges.iter().rev().copied());
         path.push(seed);
-        path.extend(self.forward_edges.iter().copied());
-        Some(path)
+        path.extend(self.scratch.forward_edges.iter().copied());
+        true
     }
 
     fn reset(&mut self) {
-        for &v in &self.touched {
-            self.visited[v as usize] = false;
+        for &v in &self.scratch.touched {
+            self.scratch.visited[v as usize] = false;
         }
-        self.touched.clear();
-        self.forward_edges.clear();
-        self.backward_edges.clear();
+        self.scratch.touched.clear();
+        self.scratch.forward_edges.clear();
+        self.scratch.backward_edges.clear();
     }
 
     fn mark(&mut self, v: VertexId) {
-        if !self.visited[v as usize] {
-            self.visited[v as usize] = true;
-            self.touched.push(v);
+        if !self.scratch.visited[v as usize] {
+            self.scratch.visited[v as usize] = true;
+            self.scratch.touched.push(v);
         }
     }
 
     fn unmark(&mut self, v: VertexId) {
-        self.visited[v as usize] = false;
-        if self.touched.last() == Some(&v) {
-            self.touched.pop();
+        self.scratch.visited[v as usize] = false;
+        if self.scratch.touched.last() == Some(&v) {
+            self.scratch.touched.pop();
         }
     }
 
@@ -188,50 +220,46 @@ impl<'g> BidirSearcher<'g> {
             _ => {}
         }
 
-        let entries: Vec<tspg_graph::AdjEntry> = match half {
+        // The adjacency slices borrow the graph (not `self`), so the DFS can
+        // walk them directly — no per-level buffer, no allocation.
+        let graph = self.graph;
+        let (entries, reversed): (&[tspg_graph::AdjEntry], bool) = match half {
             Half::Forward => {
                 let Some(range) = TimeInterval::try_new(bound + 1, self.window.end()) else {
                     return false;
                 };
-                let slice = self.graph.out_neighbors_in(cur, range);
-                if self.options.order_neighbors {
-                    // non-ascending timestamps: iterate the time-sorted slice backwards
-                    slice.iter().rev().copied().collect()
-                } else {
-                    slice.to_vec()
-                }
+                // Optimization ii wants non-ascending timestamps here, i.e.
+                // the time-sorted slice iterated backwards.
+                (graph.out_neighbors_in(cur, range), self.options.order_neighbors)
             }
             Half::Backward => {
                 let Some(range) = TimeInterval::try_new(self.window.begin(), bound - 1) else {
                     return false;
                 };
-                let slice = self.graph.in_neighbors_in(cur, range);
-                if self.options.order_neighbors {
-                    // non-descending timestamps: the slice is already ascending
-                    slice.to_vec()
-                } else {
-                    slice.iter().rev().copied().collect()
-                }
+                // Optimization ii wants non-descending timestamps here, i.e.
+                // the slice's natural order.
+                (graph.in_neighbors_in(cur, range), !self.options.order_neighbors)
             }
         };
 
-        for entry in entries {
+        for i in 0..entries.len() {
+            let entry = if reversed { entries[entries.len() - 1 - i] } else { entries[i] };
             self.stats.expansions += 1;
             let next = entry.neighbor;
-            if self.visited[next as usize] {
+            if self.scratch.visited[next as usize] {
                 continue;
             }
             self.mark(next);
             match half {
-                Half::Forward => self.forward_edges.push(entry.edge),
-                Half::Backward => self.backward_edges.push(entry.edge),
+                Half::Forward => self.scratch.forward_edges.push(entry.edge),
+                Half::Backward => self.scratch.backward_edges.push(entry.edge),
             }
             if self.search(half, next, entry.time, pending) {
                 return true;
             }
             match half {
-                Half::Forward => self.forward_edges.pop(),
-                Half::Backward => self.backward_edges.pop(),
+                Half::Forward => self.scratch.forward_edges.pop(),
+                Half::Backward => self.scratch.backward_edges.pop(),
             };
             self.unmark(next);
         }

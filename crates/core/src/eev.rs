@@ -14,8 +14,25 @@
 //!    edges while keeping the path valid (Lemma 11) — is confirmed in one
 //!    batch. If no witness exists the edge is discarded.
 
-use crate::bidir::{BidirOptions, BidirSearcher, BidirStats};
+use crate::bidir::{BidirOptions, BidirScratch, BidirSearcher, BidirStats};
 use tspg_graph::{EdgeId, EdgeSet, TemporalGraph, TimeInterval, Timestamp, VertexId};
+
+/// Reusable working state of one EEV run: edge flags, the Lemma 10 cover
+/// tables, the witness-path buffers and the bidirectional-DFS scratch.
+///
+/// One instance per worker makes repeated EEV runs allocation-free apart
+/// from the returned [`EdgeSet`] (which is the query's result and has to be
+/// owned by the caller).
+#[derive(Clone, Debug, Default)]
+pub struct EevScratch {
+    verified: Vec<bool>,
+    in_result: Vec<bool>,
+    earliest_from_s: Vec<Option<Timestamp>>,
+    latest_to_t: Vec<Option<Timestamp>>,
+    path: Vec<EdgeId>,
+    path_times: Vec<Timestamp>,
+    bidir: BidirScratch,
+}
 
 /// Counters describing one EEV run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -75,25 +92,57 @@ pub fn escaped_edges_verification_with(
     options: BidirOptions,
     input_is_tight: bool,
 ) -> EevOutcome {
+    escaped_edges_verification_scratch(
+        gt,
+        s,
+        t,
+        window,
+        options,
+        input_is_tight,
+        &mut EevScratch::default(),
+    )
+}
+
+/// Scratch-reusing variant of [`escaped_edges_verification_with`]: all
+/// working state lives in `scratch`, so a warm caller only allocates the
+/// returned result set.
+pub fn escaped_edges_verification_scratch(
+    gt: &TemporalGraph,
+    s: VertexId,
+    t: VertexId,
+    window: TimeInterval,
+    options: BidirOptions,
+    input_is_tight: bool,
+    scratch: &mut EevScratch,
+) -> EevOutcome {
     let m = gt.num_edges();
     let mut stats = EevStats::default();
-    let mut verified = vec![false; m];
-    let mut in_result = vec![false; m];
 
     if m == 0 || s == t || (s as usize) >= gt.num_vertices() || (t as usize) >= gt.num_vertices() {
         return EevOutcome { tspg: EdgeSet::new(), stats };
     }
 
+    let verified = &mut scratch.verified;
+    verified.clear();
+    verified.resize(m, false);
+    let in_result = &mut scratch.in_result;
+    in_result.clear();
+    in_result.resize(m, false);
+
     // Lemma 10 needs, per vertex, the earliest source edge into it and the
     // latest target edge out of it (restricted to G_t).
-    let mut earliest_from_s: Vec<Option<Timestamp>> = vec![None; gt.num_vertices()];
+    let earliest_from_s = &mut scratch.earliest_from_s;
+    earliest_from_s.clear();
+    earliest_from_s.resize(gt.num_vertices(), None);
     for entry in gt.out_neighbors(s) {
         let slot = &mut earliest_from_s[entry.neighbor as usize];
         if slot.is_none_or(|cur| entry.time < cur) {
             *slot = Some(entry.time);
         }
     }
-    let mut latest_to_t: Vec<Option<Timestamp>> = vec![None; gt.num_vertices()];
+    let latest_to_t = &mut scratch.latest_to_t;
+    latest_to_t.clear();
+    latest_to_t.resize(gt.num_vertices(), None);
     for entry in gt.in_neighbors(t) {
         let slot = &mut latest_to_t[entry.neighbor as usize];
         if slot.is_none_or(|cur| entry.time > cur) {
@@ -118,20 +167,30 @@ pub fn escaped_edges_verification_with(
     }
 
     // Lines 6-19: witness search for the remaining edges.
-    let mut searcher = BidirSearcher::new(gt, s, t, window, options);
+    let mut searcher =
+        BidirSearcher::with_scratch(gt, s, t, window, options, std::mem::take(&mut scratch.bidir));
     for id in 0..m as EdgeId {
         if verified[id as usize] {
             continue;
         }
         verified[id as usize] = true;
-        let Some(path) = searcher.find_path_through(id) else {
+        if !searcher.find_path_through_into(id, &mut scratch.path) {
             stats.rejected += 1;
             continue;
-        };
-        confirm_along_path(gt, &path, window, &mut verified, &mut in_result, &mut stats);
+        }
+        confirm_along_path(
+            gt,
+            &scratch.path,
+            window,
+            &mut scratch.path_times,
+            verified,
+            in_result,
+            &mut stats,
+        );
         debug_assert!(in_result[id as usize], "the seed edge lies on its own witness path");
     }
     stats.bidir = searcher.stats();
+    scratch.bidir = searcher.into_scratch();
 
     let tspg = EdgeSet::from_edges(
         gt.edges().iter().enumerate().filter(|(id, _)| in_result[*id]).map(|(_, e)| *e),
@@ -146,11 +205,13 @@ fn confirm_along_path(
     gt: &TemporalGraph,
     path: &[EdgeId],
     window: TimeInterval,
+    times: &mut Vec<Timestamp>,
     verified: &mut [bool],
     in_result: &mut [bool],
     stats: &mut EevStats,
 ) {
-    let times: Vec<Timestamp> = path.iter().map(|&id| gt.edge(id).time).collect();
+    times.clear();
+    times.extend(path.iter().map(|&id| gt.edge(id).time));
     for (pos, &id) in path.iter().enumerate() {
         let edge = gt.edge(id);
         // Replacement bounds: strictly between the neighbouring edges'

@@ -22,6 +22,11 @@
 //!    with an optimized bidirectional DFS and batch-confirming all
 //!    replaceable parallel edges (Lemma 11).
 //!
+//! For answering **many** queries over one loaded graph, the [`engine`]
+//! module provides [`QueryEngine`]: it reuses a per-worker [`QueryScratch`]
+//! arena across queries (zero steady-state allocation) and runs batches in
+//! parallel across scoped threads with deterministic result ordering.
+//!
 //! # Quick start
 //!
 //! ```
@@ -40,15 +45,19 @@
 
 pub mod bidir;
 pub mod eev;
+pub mod engine;
 pub mod polarity;
 pub mod quick_ubg;
 pub mod tcv;
 pub mod tight_ubg;
 pub mod vug;
 
-pub use bidir::{BidirOptions, BidirSearcher, BidirStats};
-pub use eev::{escaped_edges_verification, escaped_edges_verification_with, EevOutcome, EevStats};
-pub use polarity::{compute_polarity, PolarityTimes};
+pub use bidir::{BidirOptions, BidirScratch, BidirSearcher, BidirStats};
+pub use eev::{
+    escaped_edges_verification, escaped_edges_verification_with, EevOutcome, EevScratch, EevStats,
+};
+pub use engine::{QueryEngine, QueryScratch, QuerySpec};
+pub use polarity::{compute_polarity, PolarityScratch, PolarityTimes};
 pub use quick_ubg::quick_upper_bound_graph;
 pub use tcv::{TcvTables, TcvValue};
 pub use tight_ubg::tight_upper_bound_graph;

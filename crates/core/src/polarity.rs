@@ -19,7 +19,7 @@ use std::collections::VecDeque;
 use tspg_graph::{TemporalGraph, TimeInterval, Timestamp, VertexId};
 
 /// Earliest arrival and latest departure times of every vertex for one query.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct PolarityTimes {
     /// `A(u)` per vertex; `None` encodes `+∞` (unreachable from `s`).
     pub arrival: Vec<Option<Timestamp>>,
@@ -56,6 +56,15 @@ impl PolarityTimes {
     }
 }
 
+/// Reusable traversal state of [`compute_polarity_into`]: the BFS queue and
+/// the in-queue flags. One instance per worker amortises both allocations
+/// across a whole batch of queries.
+#[derive(Clone, Debug, Default)]
+pub struct PolarityScratch {
+    queue: VecDeque<VertexId>,
+    queued: Vec<bool>,
+}
+
 /// Computes `A(u)` and `D(u)` for every vertex (Algorithm 3).
 ///
 /// Out-of-range `s`/`t` yield all-`None` tables (the query is unanswerable).
@@ -65,17 +74,41 @@ pub fn compute_polarity(
     t: VertexId,
     window: TimeInterval,
 ) -> PolarityTimes {
+    let mut times = PolarityTimes::default();
+    compute_polarity_into(graph, s, t, window, &mut times, &mut PolarityScratch::default());
+    times
+}
+
+/// In-place variant of [`compute_polarity`]: writes the labels into `times`
+/// and runs the two BFS passes out of `scratch`, so a warm caller performs
+/// no allocation.
+pub fn compute_polarity_into(
+    graph: &TemporalGraph,
+    s: VertexId,
+    t: VertexId,
+    window: TimeInterval,
+    times: &mut PolarityTimes,
+    scratch: &mut PolarityScratch,
+) {
     let n = graph.num_vertices();
-    let mut arrival: Vec<Option<Timestamp>> = vec![None; n];
-    let mut departure: Vec<Option<Timestamp>> = vec![None; n];
+    let arrival = &mut times.arrival;
+    let departure = &mut times.departure;
+    arrival.clear();
+    arrival.resize(n, None);
+    departure.clear();
+    departure.resize(n, None);
     if (s as usize) >= n || (t as usize) >= n {
-        return PolarityTimes { arrival, departure };
+        return;
     }
+    let queue = &mut scratch.queue;
+    let queued = &mut scratch.queued;
 
     // Forward pass: earliest arrival from s, never relaxing into t.
     arrival[s as usize] = Some(window.begin() - 1);
-    let mut queue = VecDeque::from([s]);
-    let mut queued = vec![false; n];
+    queue.clear();
+    queue.push_back(s);
+    queued.clear();
+    queued.resize(n, false);
     queued[s as usize] = true;
     while let Some(u) = queue.pop_front() {
         queued[u as usize] = false;
@@ -100,8 +133,10 @@ pub fn compute_polarity(
 
     // Backward pass: latest departure towards t, never relaxing into s.
     departure[t as usize] = Some(window.end() + 1);
-    let mut queue = VecDeque::from([t]);
-    let mut queued = vec![false; n];
+    queue.clear();
+    queue.push_back(t);
+    queued.clear();
+    queued.resize(n, false);
     queued[t as usize] = true;
     while let Some(u) = queue.pop_front() {
         queued[u as usize] = false;
@@ -120,8 +155,6 @@ pub fn compute_polarity(
             }
         }
     }
-
-    PolarityTimes { arrival, departure }
 }
 
 #[cfg(test)]

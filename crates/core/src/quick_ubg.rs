@@ -16,6 +16,16 @@ pub fn quick_upper_bound_graph_from(
     graph.edge_induced(|_, e| polarity.admits_edge(e.src, e.dst, e.time))
 }
 
+/// In-place variant of [`quick_upper_bound_graph_from`]: rebuilds `out` as
+/// `G_q`, reusing its storage (allocation-free once warm).
+pub fn quick_upper_bound_graph_into(
+    graph: &TemporalGraph,
+    polarity: &PolarityTimes,
+    out: &mut TemporalGraph,
+) {
+    out.assign_edge_induced(graph, |_, e| polarity.admits_edge(e.src, e.dst, e.time));
+}
+
 /// Computes the polarity times and builds `G_q` in one call.
 pub fn quick_upper_bound_graph(
     graph: &TemporalGraph,

@@ -42,6 +42,17 @@ impl TcvValue<'_> {
         }
     }
 
+    /// Appends the set's members to `out` (which must be empty or already
+    /// sorted below the members), keeping `out` sorted. The allocation-free
+    /// counterpart of [`TcvValue::to_vec`] used by the table scans.
+    pub fn extend_into(&self, out: &mut Vec<VertexId>) {
+        match self {
+            TcvValue::Empty => {}
+            TcvValue::SelfOnly(v) => out.push(*v),
+            TcvValue::Set(s) => out.extend_from_slice(s),
+        }
+    }
+
     /// `true` if `vertex` belongs to the set.
     pub fn contains(&self, vertex: VertexId) -> bool {
         match self {
@@ -88,11 +99,6 @@ struct EntryList {
 }
 
 impl EntryList {
-    fn with_times(times: Vec<Timestamp>) -> Self {
-        let sets = vec![None; times.len()];
-        Self { times, sets }
-    }
-
     fn approx_bytes(&self) -> usize {
         self.times.len() * std::mem::size_of::<Timestamp>()
             + self
@@ -107,29 +113,52 @@ impl EntryList {
 }
 
 /// The forward and backward time-stream common vertex tables of one query.
-#[derive(Clone, Debug)]
+///
+/// The tables own a recycling pool of vertex-set buffers so that
+/// [`TcvTables::recompute`] on a warm instance performs no steady-state
+/// allocation: every set stored for the new query reuses a buffer retired
+/// from the previous one.
+#[derive(Clone, Debug, Default)]
 pub struct TcvTables {
     source: VertexId,
     target: VertexId,
     forward: Vec<EntryList>,
     backward: Vec<EntryList>,
+    /// Retired vertex-set buffers, ready for reuse.
+    pool: Vec<Vec<VertexId>>,
+    /// Lemma 7 completion flags, reused across scans and queries.
+    completed: Vec<bool>,
 }
 
 impl TcvTables {
     /// Computes the tables over the quick upper-bound graph `gq`
     /// (Algorithm 4).
     pub fn compute(gq: &TemporalGraph, source: VertexId, target: VertexId) -> Self {
-        let n = gq.num_vertices();
-        let mut forward: Vec<EntryList> = Vec::with_capacity(n);
-        let mut backward: Vec<EntryList> = Vec::with_capacity(n);
-        for u in 0..n as VertexId {
-            forward.push(EntryList::with_times(gq.in_times(u)));
-            backward.push(EntryList::with_times(gq.out_times(u)));
-        }
-        let mut tables = Self { source, target, forward, backward };
-        tables.compute_forward(gq);
-        tables.compute_backward(gq);
+        let mut tables = Self::default();
+        tables.recompute(gq, source, target);
         tables
+    }
+
+    /// Recomputes the tables for a new query, reusing this instance's
+    /// storage (the in-place face of [`TcvTables::compute`]).
+    pub fn recompute(&mut self, gq: &TemporalGraph, source: VertexId, target: VertexId) {
+        self.source = source;
+        self.target = target;
+        let n = gq.num_vertices();
+        recycle_entry_lists(&mut self.forward, &mut self.pool, n);
+        recycle_entry_lists(&mut self.backward, &mut self.pool, n);
+        for u in 0..n as VertexId {
+            let list = &mut self.forward[u as usize];
+            list.times.extend(gq.in_neighbors(u).iter().map(|a| a.time));
+            list.times.dedup(); // adjacency is time-sorted
+            list.sets.resize(list.times.len(), None);
+            let list = &mut self.backward[u as usize];
+            list.times.extend(gq.out_neighbors(u).iter().map(|a| a.time));
+            list.times.dedup();
+            list.sets.resize(list.times.len(), None);
+        }
+        self.compute_forward(gq);
+        self.compute_backward(gq);
     }
 
     /// `TCV_τ(s, u)` for the largest stored timestamp `≤ upper` (Lemma 5).
@@ -162,7 +191,10 @@ impl TcvTables {
     /// Forward scan implementing Equation (3) with Lemma 7 pruning.
     fn compute_forward(&mut self, gq: &TemporalGraph) {
         let n = gq.num_vertices();
-        let mut completed = vec![false; n];
+        let mut completed = std::mem::take(&mut self.completed);
+        completed.clear();
+        completed.resize(n, false);
+        let mut contribution = self.pool.pop().unwrap_or_default();
         // Edge ids of `gq` are already in non-descending temporal order.
         for edge in gq.edges() {
             let (v, u, tau) = (edge.src, edge.dst, edge.time);
@@ -170,38 +202,52 @@ impl TcvTables {
                 continue;
             }
             // Contribution of this in-edge: TCV_{τ-1}(s, v) ∪ {u}.
-            let mut contribution = self.forward(v, tau - 1).to_vec();
+            contribution.clear();
+            self.forward(v, tau - 1).extend_into(&mut contribution);
             insert_sorted(&mut contribution, u);
-            self.accumulate(Direction::Forward, u, tau, contribution, &mut completed);
+            self.accumulate(Direction::Forward, u, tau, &contribution, &mut completed);
         }
+        contribution.clear();
+        self.pool.push(contribution);
+        self.completed = completed;
     }
 
     /// Backward scan implementing Equation (4) with Lemma 7 pruning.
     fn compute_backward(&mut self, gq: &TemporalGraph) {
         let n = gq.num_vertices();
-        let mut completed = vec![false; n];
+        let mut completed = std::mem::take(&mut self.completed);
+        completed.clear();
+        completed.resize(n, false);
+        let mut contribution = self.pool.pop().unwrap_or_default();
         for edge in gq.edges().iter().rev() {
             let (u, v, tau) = (edge.src, edge.dst, edge.time);
             if u == self.source || u == self.target || completed[u as usize] {
                 continue;
             }
             // Contribution of this out-edge: TCV_{τ+1}(v, t) ∪ {u}.
-            let mut contribution = self.backward(v, tau + 1).to_vec();
+            contribution.clear();
+            self.backward(v, tau + 1).extend_into(&mut contribution);
             insert_sorted(&mut contribution, u);
-            self.accumulate(Direction::Backward, u, tau, contribution, &mut completed);
+            self.accumulate(Direction::Backward, u, tau, &contribution, &mut completed);
         }
+        contribution.clear();
+        self.pool.push(contribution);
+        self.completed = completed;
     }
 
     /// Folds one edge's contribution into vertex `u`'s entry at timestamp
     /// `tau`, inheriting from the previous entry (forward: the nearest
     /// earlier timestamp; backward: the nearest later timestamp) because
     /// `TCV_τ` shrinks monotonically along the scan direction.
+    ///
+    /// The inherited set is borrowed in place (the stored sets are never
+    /// cloned) and the stored result comes out of the recycling pool.
     fn accumulate(
         &mut self,
         direction: Direction,
         u: VertexId,
         tau: Timestamp,
-        contribution: Vec<VertexId>,
+        contribution: &[VertexId],
         completed: &mut [bool],
     ) {
         let list = match direction {
@@ -217,20 +263,38 @@ impl TcvTables {
             Direction::Forward => idx.checked_sub(1),
             Direction::Backward => (idx + 1 < list.times.len()).then_some(idx + 1),
         };
-        let inherited: Option<Vec<VertexId>> = match &list.sets[idx] {
-            Some(current) => Some(current.clone()),
-            None => prev_idx.and_then(|p| list.sets[p].clone()),
+        let mut value = self.pool.pop().unwrap_or_default();
+        value.clear();
+        let inherited: Option<&[VertexId]> = match &list.sets[idx] {
+            Some(current) => Some(current.as_slice()),
+            None => prev_idx.and_then(|p| list.sets[p].as_deref()),
         };
-        let value = match inherited {
-            Some(base) => intersect_sorted(&base, &contribution),
-            None => contribution,
-        };
+        match inherited {
+            Some(base) => intersect_sorted_into(base, contribution, &mut value),
+            None => value.extend_from_slice(contribution),
+        }
         let is_self_only = value.len() == 1 && value[0] == u;
-        list.sets[idx] = Some(value);
+        if let Some(mut retired) = list.sets[idx].replace(value) {
+            retired.clear();
+            self.pool.push(retired);
+        }
         if is_self_only {
             completed[u as usize] = true; // Lemma 7
         }
     }
+}
+
+/// Clears every list and returns its set buffers to the pool, then resizes
+/// the outer vector to `n` empty lists.
+fn recycle_entry_lists(lists: &mut Vec<EntryList>, pool: &mut Vec<Vec<VertexId>>, n: usize) {
+    for list in lists.iter_mut() {
+        for mut buffer in list.sets.drain(..).flatten() {
+            buffer.clear();
+            pool.push(buffer);
+        }
+        list.times.clear();
+    }
+    lists.resize_with(n, EntryList::default);
 }
 
 enum Direction {
@@ -263,8 +327,7 @@ fn insert_sorted(set: &mut Vec<VertexId>, v: VertexId) {
     }
 }
 
-fn intersect_sorted(a: &[VertexId], b: &[VertexId]) -> Vec<VertexId> {
-    let mut out = Vec::with_capacity(a.len().min(b.len()));
+fn intersect_sorted_into(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>) {
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {
         match a[i].cmp(&b[j]) {
@@ -277,7 +340,6 @@ fn intersect_sorted(a: &[VertexId], b: &[VertexId]) -> Vec<VertexId> {
             }
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -356,11 +418,46 @@ mod tests {
     fn helpers_behave() {
         assert!(sorted_disjoint(&[1, 3], &[2, 4]));
         assert!(!sorted_disjoint(&[1, 3], &[3]));
-        assert_eq!(intersect_sorted(&[1, 2, 5], &[2, 5, 7]), vec![2, 5]);
+        let mut out = Vec::new();
+        intersect_sorted_into(&[1, 2, 5], &[2, 5, 7], &mut out);
+        assert_eq!(out, vec![2, 5]);
         let mut v = vec![1, 4];
         insert_sorted(&mut v, 3);
         insert_sorted(&mut v, 3);
         assert_eq!(v, vec![1, 3, 4]);
+        let mut ext = Vec::new();
+        TcvValue::Empty.extend_into(&mut ext);
+        assert!(ext.is_empty());
+        TcvValue::SelfOnly(4).extend_into(&mut ext);
+        assert_eq!(ext, vec![4]);
+    }
+
+    #[test]
+    fn recompute_reuses_storage_and_matches_fresh_tables() {
+        // Warm one instance over a sequence of different queries/graphs and
+        // compare every lookup against a freshly computed table.
+        let g = figure1_graph();
+        let (s, t, w) = figure1_query();
+        let mut warm = TcvTables::default();
+        for (qs, qt, qw) in [(s, t, w), (t, s, w), (s, t, TimeInterval::new(3, 5)), (s, t, w)] {
+            let gq = quick_upper_bound_graph(&g, qs, qt, qw);
+            warm.recompute(&gq, qs, qt);
+            let fresh = TcvTables::compute(&gq, qs, qt);
+            for u in 0..gq.num_vertices() as u32 {
+                for tau in 0..10 {
+                    assert_eq!(
+                        warm.forward(u, tau).to_vec(),
+                        fresh.forward(u, tau).to_vec(),
+                        "forward u={u} tau={tau} query=({qs},{qt},{qw})"
+                    );
+                    assert_eq!(
+                        warm.backward(u, tau).to_vec(),
+                        fresh.backward(u, tau).to_vec(),
+                        "backward u={u} tau={tau} query=({qs},{qt},{qw})"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -21,18 +21,33 @@ pub fn tight_upper_bound_graph_from(
     s: VertexId,
     t: VertexId,
 ) -> TemporalGraph {
-    gq.edge_induced(|_, e| {
-        if e.src == s || e.dst == t {
-            // Lemma 2 case ii): edges incident to the query endpoints are
-            // always retained (and are in fact already part of the tspG).
-            return true;
-        }
-        // Lemma 8: it suffices to test the latest prefix entry of u strictly
-        // before τ against the earliest suffix entry of v strictly after τ.
-        let forward = tcv.forward(e.src, e.time - 1);
-        let backward = tcv.backward(e.dst, e.time + 1);
-        forward.is_disjoint(&backward)
-    })
+    gq.edge_induced(|_, e| keep_edge(tcv, s, t, e))
+}
+
+/// In-place variant of [`tight_upper_bound_graph_from`]: rebuilds `out` as
+/// `G_t`, reusing its storage (allocation-free once warm).
+pub fn tight_upper_bound_graph_into(
+    gq: &TemporalGraph,
+    tcv: &TcvTables,
+    s: VertexId,
+    t: VertexId,
+    out: &mut TemporalGraph,
+) {
+    out.assign_edge_induced(gq, |_, e| keep_edge(tcv, s, t, e));
+}
+
+/// The per-edge retention test of Algorithm 5.
+fn keep_edge(tcv: &TcvTables, s: VertexId, t: VertexId, e: &tspg_graph::TemporalEdge) -> bool {
+    if e.src == s || e.dst == t {
+        // Lemma 2 case ii): edges incident to the query endpoints are
+        // always retained (and are in fact already part of the tspG).
+        return true;
+    }
+    // Lemma 8: it suffices to test the latest prefix entry of u strictly
+    // before τ against the earliest suffix entry of v strictly after τ.
+    let forward = tcv.forward(e.src, e.time - 1);
+    let backward = tcv.backward(e.dst, e.time + 1);
+    forward.is_disjoint(&backward)
 }
 
 /// Computes the TCV tables and builds `G_t` in one call.

@@ -2,12 +2,9 @@
 //! per-phase instrumentation.
 
 use crate::bidir::BidirOptions;
-use crate::eev::{escaped_edges_verification_with, EevStats};
-use crate::polarity::compute_polarity;
-use crate::quick_ubg::quick_upper_bound_graph_from;
-use crate::tcv::TcvTables;
-use crate::tight_ubg::tight_upper_bound_graph_from;
-use std::time::{Duration, Instant};
+use crate::eev::EevStats;
+use crate::engine::{generate_tspg_scratch, QueryScratch};
+use std::time::Duration;
 use tspg_graph::{EdgeSet, TemporalGraph, TimeInterval, VertexId};
 
 /// Configuration of a VUG run.
@@ -124,6 +121,12 @@ pub fn generate_tspg(
 }
 
 /// Generates the temporal simple path graph with an explicit configuration.
+///
+/// This is the one-shot face of the pipeline: it runs
+/// [`crate::engine::generate_tspg_scratch`] with a cold [`QueryScratch`].
+/// Callers answering many queries over one graph should use
+/// [`crate::QueryEngine`] instead, which reuses the scratch across the
+/// batch.
 pub fn generate_tspg_with(
     graph: &TemporalGraph,
     s: VertexId,
@@ -131,48 +134,7 @@ pub fn generate_tspg_with(
     window: TimeInterval,
     config: &VugConfig,
 ) -> VugResult {
-    let mut report = VugReport { input_edges: graph.num_edges(), ..VugReport::default() };
-
-    // Degenerate query: a temporal simple path with at least one edge cannot
-    // start and end at the same vertex, so the tspG of `s == t` is empty.
-    if s == t {
-        return VugResult { tspg: EdgeSet::new(), report };
-    }
-
-    // Phase 1: QuickUBG (Algorithms 2 + 3).
-    let started = Instant::now();
-    let polarity = compute_polarity(graph, s, t, window);
-    let gq = quick_upper_bound_graph_from(graph, &polarity);
-    report.quick_elapsed = started.elapsed();
-    report.quick_edges = gq.num_edges();
-    let mut approx_bytes = polarity.approx_bytes() + gq.approx_bytes();
-
-    // Phase 2: TightUBG (Algorithms 4 + 5).
-    let started = Instant::now();
-    let gt = if config.use_tight_ubg {
-        let tcv = TcvTables::compute(&gq, s, t);
-        let gt = tight_upper_bound_graph_from(&gq, &tcv, s, t);
-        approx_bytes += tcv.approx_bytes();
-        gt
-    } else {
-        gq.clone()
-    };
-    report.tight_elapsed = started.elapsed();
-    report.tight_edges = gt.num_edges();
-    approx_bytes += gt.approx_bytes();
-
-    // Phase 3: Escaped Edges Verification (Algorithms 6 + 7).
-    let started = Instant::now();
-    let outcome =
-        escaped_edges_verification_with(&gt, s, t, window, config.bidir, config.use_tight_ubg);
-    report.eev_elapsed = started.elapsed();
-    report.eev = outcome.stats;
-    report.result_edges = outcome.tspg.num_edges();
-    report.result_vertices = outcome.tspg.num_vertices();
-    approx_bytes += outcome.tspg.approx_bytes();
-    report.approx_bytes = approx_bytes;
-
-    VugResult { tspg: outcome.tspg, report }
+    generate_tspg_scratch(graph, s, t, window, config, &mut QueryScratch::new())
 }
 
 #[cfg(test)]

@@ -31,4 +31,7 @@ pub mod workload;
 pub use generators::{generate_transit, GeneratorModel, GraphGenerator};
 pub use reach::{earliest_arrival, is_reachable, latest_departure};
 pub use registry::{find, registry, DatasetSpec, Scale};
-pub use workload::{generate_workload, Query, WorkloadConfig, WorkloadGenerator};
+pub use workload::{
+    format_queries, generate_workload, generate_workload_batches, parse_queries, Query,
+    WorkloadConfig, WorkloadGenerator,
+};

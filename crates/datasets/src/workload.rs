@@ -1,37 +1,24 @@
-//! Query workload generation.
+//! Query workload generation and the plain-text query-file format.
 //!
 //! The paper's protocol (Section VI-A): for each dataset generate 1000 random
 //! queries `(s, t, [τ_b, τ_e])` with a fixed span θ such that `s` can
 //! temporally reach `t` within the interval, and report aggregate costs over
 //! the whole batch.
+//!
+//! For the batch query engine this module additionally provides
+//! [`generate_workload_batches`] (reproducible multi-batch workloads, one
+//! derived seed per batch) and a textual query-file format shared with the
+//! CLI `batch` subcommand: one `source target begin end` quadruple per line,
+//! `#`/`%` comments (whole-line or trailing) and CRLF endings accepted —
+//! see [`parse_queries`] / [`format_queries`].
 
 use crate::reach::earliest_arrival;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use tspg_graph::io::strip_line_comment;
 use tspg_graph::{TemporalGraph, TimeInterval, VertexId};
 
-/// One temporal simple path graph query.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct Query {
-    /// Source vertex `s`.
-    pub source: VertexId,
-    /// Target vertex `t`.
-    pub target: VertexId,
-    /// Query interval `[τ_b, τ_e]`.
-    pub window: TimeInterval,
-}
-
-impl Query {
-    /// Creates a query.
-    pub fn new(source: VertexId, target: VertexId, window: TimeInterval) -> Self {
-        Self { source, target, window }
-    }
-
-    /// The span θ of the query interval.
-    pub fn theta(&self) -> i64 {
-        self.window.span()
-    }
-}
+pub use tspg_graph::Query;
 
 /// Parameters of a workload.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -123,6 +110,87 @@ pub fn generate_workload(
     WorkloadGenerator::new(graph, seed).generate(&WorkloadConfig::new(num_queries, theta))
 }
 
+/// Generates `num_batches` independent, reproducible query batches of
+/// `per_batch` queries each: batch `i` uses a seed derived from `(seed, i)`,
+/// so any single batch can be regenerated without generating its
+/// predecessors.
+pub fn generate_workload_batches(
+    graph: &TemporalGraph,
+    num_batches: usize,
+    per_batch: usize,
+    theta: i64,
+    seed: u64,
+) -> Vec<Vec<Query>> {
+    (0..num_batches)
+        .map(|i| {
+            // SplitMix64-style derivation keeps nearby batch indexes from
+            // producing correlated RNG streams.
+            let mut derived = seed ^ (i as u64).wrapping_mul(0x9e3779b97f4a7c15);
+            derived ^= derived >> 30;
+            derived = derived.wrapping_mul(0xbf58476d1ce4e5b9);
+            generate_workload(graph, per_batch, theta, derived)
+        })
+        .collect()
+}
+
+/// Renders queries in the textual query-file format (one
+/// `source target begin end` per line, with a header comment).
+pub fn format_queries(queries: &[Query]) -> String {
+    let mut out = String::from("# query file: source target begin end\n");
+    for q in queries {
+        out.push_str(&format!(
+            "{} {} {} {}\n",
+            q.source,
+            q.target,
+            q.window.begin(),
+            q.window.end()
+        ));
+    }
+    out
+}
+
+/// Parses a textual query file.
+///
+/// One query per line as whitespace-separated `source target begin end`;
+/// `#` and `%` open comments (whole lines or trailing); blank lines and CRLF
+/// endings are tolerated. Errors name the offending 1-based line.
+pub fn parse_queries(text: &str) -> Result<Vec<Query>, String> {
+    let mut queries = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let data = strip_line_comment(raw);
+        if data.is_empty() {
+            continue;
+        }
+        let mut fields = data.split_whitespace();
+        let mut next = |what: &str| -> Result<&str, String> {
+            fields.next().ok_or_else(|| format!("line {lineno}: missing {what}"))
+        };
+        let source: VertexId = parse_query_field(next("source vertex")?, "source vertex", lineno)?;
+        let target: VertexId = parse_query_field(next("target vertex")?, "target vertex", lineno)?;
+        let begin: i64 = parse_query_field(next("interval begin")?, "interval begin", lineno)?;
+        let end: i64 = parse_query_field(next("interval end")?, "interval end", lineno)?;
+        if let Some(extra) = fields.next() {
+            return Err(format!(
+                "line {lineno}: too many fields (unexpected {extra:?}; \
+                 expected `source target begin end`)"
+            ));
+        }
+        let window = TimeInterval::try_new(begin, end)
+            .ok_or_else(|| format!("line {lineno}: invalid interval [{begin}, {end}]"))?;
+        queries.push(Query::new(source, target, window));
+    }
+    Ok(queries)
+}
+
+fn parse_query_field<T: std::str::FromStr>(
+    raw: &str,
+    what: &str,
+    lineno: usize,
+) -> Result<T, String> {
+    raw.parse::<T>().map_err(|_| format!("line {lineno}: invalid {what}: {raw:?}"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,5 +255,52 @@ mod tests {
     fn workload_config_clamps_theta() {
         let c = WorkloadConfig::new(5, 0);
         assert_eq!(c.theta, 1);
+    }
+
+    #[test]
+    fn batches_are_reproducible_and_distinct() {
+        let g = GraphGenerator::uniform(60, 800, 30).generate(2);
+        let a = generate_workload_batches(&g, 3, 10, 6, 7);
+        let b = generate_workload_batches(&g, 3, 10, 6, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        assert!(a.iter().all(|batch| batch.len() == 10));
+        assert_ne!(a[0], a[1], "different batches must not repeat the same queries");
+        // Regenerating only the last batch gives the same queries as the
+        // full run (batch seeds are independent of predecessors).
+        let c = generate_workload_batches(&g, 3, 10, 6, 7);
+        assert_eq!(a[2], c[2]);
+    }
+
+    #[test]
+    fn query_file_roundtrip() {
+        let g = figure1_graph();
+        let queries = generate_workload(&g, 12, 6, 4);
+        let text = format_queries(&queries);
+        let parsed = parse_queries(&text).unwrap();
+        assert_eq!(parsed, queries);
+    }
+
+    #[test]
+    fn query_file_tolerates_comments_and_crlf() {
+        let text = "# header\r\n0 7 2 7\r\n\r\n2 7 3 6 % trailing note\r\n% footer\r\n";
+        let parsed = parse_queries(text).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0], Query::new(0, 7, TimeInterval::new(2, 7)));
+        assert_eq!(parsed[1], Query::new(2, 7, TimeInterval::new(3, 6)));
+    }
+
+    #[test]
+    fn query_file_errors_carry_line_numbers() {
+        let err = parse_queries("0 7 2 7\n0 x 2 7\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        assert!(err.contains("target"), "{err}");
+        let err = parse_queries("0 7 2\n").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        assert!(err.contains("interval end"), "{err}");
+        let err = parse_queries("0 7 2 7 9\n").unwrap_err();
+        assert!(err.contains("too many fields"), "{err}");
+        let err = parse_queries("0 7 9 2\n").unwrap_err();
+        assert!(err.contains("invalid interval"), "{err}");
     }
 }

@@ -49,9 +49,28 @@ impl TemporalGraph {
         edges.dedup();
         let required = edges.iter().map(|e| (e.src.max(e.dst) as usize) + 1).max().unwrap_or(0);
         let num_vertices = num_vertices.max(required);
-        let (out_offsets, out_entries) = build_adjacency(num_vertices, &edges, true);
-        let (in_offsets, in_entries) = build_adjacency(num_vertices, &edges, false);
-        Self { num_vertices, edges, out_offsets, out_entries, in_offsets, in_entries }
+        let mut graph = Self { num_vertices, edges, ..Self::default() };
+        graph.rebuild_indexes();
+        graph
+    }
+
+    /// Rebuilds the two CSR indexes from `self.edges` (which must already be
+    /// sorted and de-duplicated), reusing the index vectors' capacity.
+    fn rebuild_indexes(&mut self) {
+        build_adjacency_into(
+            self.num_vertices,
+            &self.edges,
+            true,
+            &mut self.out_offsets,
+            &mut self.out_entries,
+        );
+        build_adjacency_into(
+            self.num_vertices,
+            &self.edges,
+            false,
+            &mut self.in_offsets,
+            &mut self.in_entries,
+        );
     }
 
     /// An empty graph with `num_vertices` isolated vertices.
@@ -221,6 +240,26 @@ impl TemporalGraph {
         TemporalGraph::from_edges(self.num_vertices, edges)
     }
 
+    /// In-place variant of [`TemporalGraph::edge_induced`]: rebuilds `self`
+    /// as the edge-induced subgraph of `source`, reusing `self`'s existing
+    /// heap allocations (edge array and both CSR indexes).
+    ///
+    /// This is the storage primitive behind the batch query engine's scratch
+    /// reuse: after the first query warms the buffers up, constructing the
+    /// per-query upper-bound graphs allocates nothing in steady state.
+    pub fn assign_edge_induced<F>(&mut self, source: &TemporalGraph, mut keep: F)
+    where
+        F: FnMut(EdgeId, &TemporalEdge) -> bool,
+    {
+        self.num_vertices = source.num_vertices;
+        self.edges.clear();
+        self.edges.extend(
+            source.edges.iter().enumerate().filter(|(i, e)| keep(*i as EdgeId, e)).map(|(_, e)| *e),
+        );
+        // `source.edges` is sorted and de-duplicated; filtering preserves both.
+        self.rebuild_indexes();
+    }
+
     /// Edge-induced subgraph from a boolean mask indexed by [`EdgeId`].
     ///
     /// # Panics
@@ -246,31 +285,38 @@ impl TemporalGraph {
     }
 }
 
-fn build_adjacency(
+fn build_adjacency_into(
     num_vertices: usize,
     edges: &[TemporalEdge],
     outgoing: bool,
-) -> (Vec<usize>, Vec<AdjEntry>) {
-    let mut counts = vec![0usize; num_vertices + 1];
+    offsets: &mut Vec<usize>,
+    entries: &mut Vec<AdjEntry>,
+) {
+    offsets.clear();
+    offsets.resize(num_vertices + 1, 0);
     for e in edges {
         let key = if outgoing { e.src } else { e.dst } as usize;
-        counts[key + 1] += 1;
+        offsets[key + 1] += 1;
     }
-    for i in 1..counts.len() {
-        counts[i] += counts[i - 1];
+    for i in 1..offsets.len() {
+        offsets[i] += offsets[i - 1];
     }
-    let offsets = counts.clone();
-    let mut cursor = counts;
-    let mut entries = vec![AdjEntry { neighbor: 0, time: 0, edge: 0 }; edges.len()];
+    entries.clear();
+    entries.resize(edges.len(), AdjEntry { neighbor: 0, time: 0, edge: 0 });
     // Edges are globally time-sorted, so filling in order keeps every
-    // per-vertex bucket time-sorted as well.
+    // per-vertex bucket time-sorted as well. `offsets[key]` doubles as the
+    // fill cursor of bucket `key`; after the pass it holds the bucket *end*,
+    // which the right-shift below turns back into bucket starts.
     for (id, e) in edges.iter().enumerate() {
         let (key, neighbor) = if outgoing { (e.src, e.dst) } else { (e.dst, e.src) };
-        let slot = cursor[key as usize];
+        let slot = offsets[key as usize];
         entries[slot] = AdjEntry { neighbor, time: e.time, edge: id as EdgeId };
-        cursor[key as usize] += 1;
+        offsets[key as usize] += 1;
     }
-    (offsets, entries)
+    for i in (1..offsets.len()).rev() {
+        offsets[i] = offsets[i - 1];
+    }
+    offsets[0] = 0;
 }
 
 fn slice_by_time(entries: &[AdjEntry], window: TimeInterval) -> &[AdjEntry] {
@@ -424,6 +470,27 @@ mod tests {
         assert_eq!(sub.num_edges(), 2);
         assert_eq!(sub.edges()[0], g.edge(0));
         assert_eq!(sub.edges()[1], g.edge(3));
+    }
+
+    #[test]
+    fn assign_edge_induced_matches_the_allocating_variant() {
+        let g = figure1_graph();
+        let mut reused = TemporalGraph::default();
+        // Reassign the same storage across several different filters; each
+        // result must be indistinguishable from a freshly built subgraph.
+        for (pass, src_filter) in [0u32, 2, 3, 6, 99].into_iter().enumerate() {
+            reused.assign_edge_induced(&g, |_, e| e.src == src_filter);
+            let fresh = g.edge_induced(|_, e| e.src == src_filter);
+            assert_eq!(reused.num_vertices(), fresh.num_vertices(), "pass {pass}");
+            assert_eq!(reused.edges(), fresh.edges(), "pass {pass}");
+            for u in fresh.vertices() {
+                assert_eq!(reused.out_neighbors(u), fresh.out_neighbors(u), "pass {pass}");
+                assert_eq!(reused.in_neighbors(u), fresh.in_neighbors(u), "pass {pass}");
+            }
+        }
+        // Growing back after an empty assignment also works.
+        reused.assign_edge_induced(&g, |_, _| true);
+        assert_eq!(reused.edges(), g.edges());
     }
 
     #[test]

@@ -2,7 +2,11 @@
 //!
 //! The accepted textual format is the one used by SNAP/KONECT temporal graph
 //! dumps: one edge per line, whitespace-separated `src dst timestamp`
-//! fields, with `#` or `%` starting a comment line.
+//! fields, with `#` or `%` starting a comment — either a whole comment line
+//! or a trailing comment after the three fields. CRLF line endings are
+//! accepted. A data line with more than three fields is rejected with its
+//! line number (real dumps that carry extra columns, e.g. KONECT's
+//! `src dst weight time`, would otherwise be silently misparsed).
 
 use crate::error::GraphError;
 use crate::graph::TemporalGraph;
@@ -29,11 +33,11 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<TemporalGraph, GraphError> {
     for (idx, line) in reader.lines().enumerate() {
         let line = line?;
         let lineno = idx + 1;
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+        let data = strip_line_comment(&line);
+        if data.is_empty() {
             continue;
         }
-        edges.push(parse_edge_line(trimmed, lineno)?);
+        edges.push(parse_edge_line(data, lineno)?);
     }
     Ok(TemporalGraph::from_edges(0, edges))
 }
@@ -86,11 +90,32 @@ fn escape(s: &str) -> String {
     s.replace('"', "\\\"")
 }
 
+/// Reduces one line of a whitespace-separated text format (edge lists,
+/// query files) to its data portion: trims whitespace — including the `\r`
+/// that `BufRead::lines` leaves behind on CRLF input — and drops everything
+/// from the first `#` or `%` on, covering both whole comment lines and
+/// trailing annotations. Returns the empty string for blank/comment lines.
+pub fn strip_line_comment(line: &str) -> &str {
+    let trimmed = line.trim();
+    match trimmed.find(['#', '%']) {
+        Some(pos) => trimmed[..pos].trim_end(),
+        None => trimmed,
+    }
+}
+
 fn parse_edge_line(line: &str, lineno: usize) -> Result<TemporalEdge, GraphError> {
     let mut fields = line.split_whitespace();
     let src = parse_field::<u64>(fields.next(), "source vertex", lineno)?;
     let dst = parse_field::<u64>(fields.next(), "destination vertex", lineno)?;
     let time = parse_field::<Timestamp>(fields.next(), "timestamp", lineno)?;
+    if let Some(extra) = fields.next() {
+        return Err(GraphError::Parse {
+            line: lineno,
+            message: format!(
+                "too many fields (unexpected {extra:?}; expected `src dst timestamp`)"
+            ),
+        });
+    }
     if src > u64::from(VertexId::MAX) || dst > u64::from(VertexId::MAX) {
         return Err(GraphError::VertexOutOfRange {
             vertex: src.max(dst),
@@ -127,10 +152,46 @@ mod tests {
     }
 
     #[test]
-    fn parse_tabs_and_extra_fields() {
-        // Extra trailing fields (e.g. edge weights) are ignored.
-        let g = parse_edge_list("0\t1\t5 1.0\n").unwrap();
+    fn parse_tabs() {
+        let g = parse_edge_list("0\t1\t5\n1\t2\t6\n").unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn extra_fields_are_rejected_with_the_line_number() {
+        // A fourth column (e.g. KONECT's `src dst weight time` layout) would
+        // previously be silently dropped, misreading the weight as the
+        // timestamp; now the line is rejected so the caller notices.
+        let err = parse_edge_list("0 1 5\n0\t1\t5 1.0\n").unwrap_err();
+        match err {
+            GraphError::Parse { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("too many fields"), "{message}");
+                assert!(message.contains("1.0"), "{message}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn crlf_line_endings_are_accepted() {
+        let g = parse_edge_list("# dump\r\n0 1 5\r\n1 2 6\r\n\r\n2 0 7\r\n").unwrap();
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.has_edge(1, 2, 6));
+    }
+
+    #[test]
+    fn trailing_inline_comments_are_stripped() {
+        let text = "0 1 5 # first contact\n1 2 6\t% weight column removed\n2 0 7#tight\n";
+        let g = parse_edge_list(text).unwrap();
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.has_edge(2, 0, 7));
+        // A line that is only a comment after trimming still parses as blank.
+        let g = parse_edge_list("   # indented comment\n0 1 5\n").unwrap();
         assert_eq!(g.num_edges(), 1);
+        // An inline comment cannot hide missing fields.
+        let err = parse_edge_list("0 1 # timestamp lost to the comment\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
     }
 
     #[test]

@@ -50,6 +50,7 @@ pub mod fixtures;
 pub mod graph;
 pub mod interval;
 pub mod io;
+pub mod query;
 pub mod stats;
 pub mod types;
 
@@ -58,5 +59,6 @@ pub use edgeset::EdgeSet;
 pub use error::GraphError;
 pub use graph::{AdjEntry, TemporalGraph};
 pub use interval::TimeInterval;
+pub use query::Query;
 pub use stats::GraphStats;
 pub use types::{EdgeId, TemporalEdge, Timestamp, VertexId};

@@ -1,0 +1,58 @@
+//! The query quadruple shared across the workspace.
+
+use crate::interval::TimeInterval;
+use crate::types::VertexId;
+use std::fmt;
+
+/// One temporal simple path graph query `(s, t, [τ_b, τ_e])`.
+///
+/// This is the single query type of the workspace: `tspg-datasets` generates
+/// workloads of them and `tspg-core`'s batch engine answers them (re-exported
+/// there as `QuerySpec`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Query {
+    /// Source vertex `s`.
+    pub source: VertexId,
+    /// Target vertex `t`.
+    pub target: VertexId,
+    /// Query interval `[τ_b, τ_e]`.
+    pub window: TimeInterval,
+}
+
+impl Query {
+    /// Creates a query.
+    pub fn new(source: VertexId, target: VertexId, window: TimeInterval) -> Self {
+        Self { source, target, window }
+    }
+
+    /// The span θ of the query interval.
+    pub fn theta(&self) -> i64 {
+        self.window.span()
+    }
+}
+
+impl From<(VertexId, VertexId, TimeInterval)> for Query {
+    fn from((source, target, window): (VertexId, VertexId, TimeInterval)) -> Self {
+        Self::new(source, target, window)
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {} within {}", self.source, self.target, self.window)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_span() {
+        let q = Query::new(3, 9, TimeInterval::new(2, 7));
+        assert_eq!(q.theta(), 6);
+        let from_tuple: Query = (3, 9, TimeInterval::new(2, 7)).into();
+        assert_eq!(q, from_tuple);
+        assert_eq!(format!("{q}"), "3 -> 9 within [2, 7]");
+    }
+}

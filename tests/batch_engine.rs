@@ -1,0 +1,103 @@
+//! Cross-crate tests of the batch query engine: the acceptance gate that a
+//! generated 100-query workload answered through `QueryEngine::run_batch`
+//! is byte-for-byte identical to 100 sequential one-shot `generate_tspg`
+//! calls, plus a differential property test against both the one-shot path
+//! and naive enumeration on random graphs (covering `s == t`, empty-result
+//! and single-timestamp-window queries).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use tspg_suite::core::{QueryEngine, QueryScratch, QuerySpec};
+use tspg_suite::prelude::*;
+
+/// The acceptance-criterion test: a 100-query generated workload, answered
+/// as one batch (sequentially and with worker threads), must return exactly
+/// what 100 independent one-shot calls return — same edge sets, same sizes,
+/// same order.
+#[test]
+fn batch_of_100_workload_queries_matches_one_shot_vug() {
+    let spec = registry().into_iter().next().expect("registry has datasets");
+    let graph = spec.generate(Scale::tiny(), 0xfeed);
+    let queries: Vec<QuerySpec> = generate_workload(&graph, 100, spec.default_theta, 99);
+    assert_eq!(queries.len(), 100, "workload generation must fill the batch");
+
+    let one_shot: Vec<_> =
+        queries.iter().map(|q| generate_tspg(&graph, q.source, q.target, q.window)).collect();
+
+    let engine = QueryEngine::new(graph);
+    for threads in [1, 4] {
+        let batch = engine.run_batch(&queries, threads);
+        assert_eq!(batch.len(), one_shot.len());
+        for (i, (b, o)) in batch.iter().zip(one_shot.iter()).enumerate() {
+            assert_eq!(b.tspg, o.tspg, "threads={threads}, query #{i}");
+            assert_eq!(
+                b.report.result_vertices, o.report.result_vertices,
+                "threads={threads}, query #{i}"
+            );
+            assert_eq!(b.report.quick_edges, o.report.quick_edges, "threads={threads} #{i}");
+            assert_eq!(b.report.tight_edges, o.report.tight_edges, "threads={threads} #{i}");
+        }
+    }
+}
+
+/// Strategy: a random small temporal graph plus a query batch that
+/// deliberately includes degenerate shapes — `s == t` queries, windows with
+/// a single timestamp (`begin == end`), and windows placed so that many
+/// results are empty.
+fn graph_and_batch() -> impl Strategy<Value = (TemporalGraph, Vec<QuerySpec>)> {
+    const N: u32 = 9;
+    let edge = (0..N, 0..N, 1..=8i64).prop_map(|(u, v, t)| TemporalEdge::new(u, v, t));
+    let query = (0..N, 0..N, 1..=8i64, 0..=4i64).prop_map(|(s, t, begin, extra)| {
+        // `extra == 0` yields single-timestamp windows; `s == t` is kept.
+        QuerySpec::new(s, t, TimeInterval::new(begin, (begin + extra).min(8)))
+    });
+    (vec(edge, 1..40), vec(query, 1..12)).prop_map(|(edges, queries)| {
+        let edges: Vec<TemporalEdge> = edges.into_iter().filter(|e| e.src != e.dst).collect();
+        (TemporalGraph::from_edges(N as usize, edges), queries)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Differential invariant: for every query of every batch, the engine
+    /// (warm scratch, sequential and parallel), the one-shot VUG path and
+    /// the naive enumeration edge-union all agree exactly.
+    #[test]
+    fn batch_engine_matches_one_shot_and_naive_enumeration(
+        (graph, queries) in graph_and_batch()
+    ) {
+        let engine = QueryEngine::new(graph.clone());
+        let sequential = engine.run_batch(&queries, 1);
+        let parallel = engine.run_batch(&queries, 3);
+        prop_assert_eq!(sequential.len(), queries.len());
+        for (i, q) in queries.iter().enumerate() {
+            let one_shot = generate_tspg(&graph, q.source, q.target, q.window);
+            let naive = naive_tspg(&graph, q.source, q.target, q.window, &Budget::unlimited());
+            prop_assert!(naive.is_exact());
+            prop_assert_eq!(&sequential[i].tspg, &one_shot.tspg, "query #{} {:?}", i, q);
+            prop_assert_eq!(&parallel[i].tspg, &one_shot.tspg, "query #{} {:?}", i, q);
+            prop_assert_eq!(&sequential[i].tspg, &naive.tspg, "query #{} {:?}", i, q);
+            if q.source == q.target {
+                prop_assert!(sequential[i].tspg.is_empty(), "s == t must be empty");
+            }
+        }
+    }
+
+    /// A warm scratch carried across wildly different queries never leaks
+    /// state from one query into the next: each answer equals a cold run.
+    #[test]
+    fn warm_scratch_is_stateless_across_queries(
+        (graph, queries) in graph_and_batch()
+    ) {
+        let engine = QueryEngine::new(graph.clone());
+        let mut scratch = QueryScratch::new();
+        for q in &queries {
+            let warm = engine.run(*q, &mut scratch);
+            let cold = engine.run(*q, &mut QueryScratch::new());
+            prop_assert_eq!(&warm.tspg, &cold.tspg, "query {:?}", q);
+            prop_assert_eq!(warm.report.quick_edges, cold.report.quick_edges);
+            prop_assert_eq!(warm.report.tight_edges, cold.report.tight_edges);
+        }
+    }
+}

@@ -172,10 +172,11 @@ macro_rules! prop_assert {
     };
 }
 
-/// Fallible equality assertion inside a [`proptest!`] body.
+/// Fallible equality assertion inside a [`proptest!`] body. Like the real
+/// crate's macro it accepts an optional trailing format message.
 #[macro_export]
 macro_rules! prop_assert_eq {
-    ($left:expr, $right:expr) => {{
+    ($left:expr, $right:expr $(,)?) => {{
         let left = &$left;
         let right = &$right;
         $crate::prop_assert!(
@@ -185,6 +186,19 @@ macro_rules! prop_assert_eq {
             stringify!($right),
             left,
             right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n {}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right,
+            format!($($fmt)+)
         );
     }};
 }
