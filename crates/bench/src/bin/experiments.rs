@@ -18,6 +18,7 @@
 //!   exp7       number of paths vs edges in the tspG     (Fig. 12)
 //!   exp8       transit case study                       (Fig. 13)
 //!   batch      batch query engine throughput            (Exp-9, beyond the paper)
+//!   exp10      serving on skewed repeated traffic       (Exp-10, beyond the paper)
 //!
 //! OPTIONS
 //!   --scale tiny|small|medium   dataset scale                (default small)
@@ -25,7 +26,8 @@
 //!   --datasets D1,D3,...        restrict the datasets
 //!   --seed N                    RNG seed                     (default 0x5eed)
 //!   --budget-ms N               per-query baseline budget    (default 2000)
-//!   --threads N                 batch experiment workers     (default 2)
+//!   --threads N                 batch/serving workers        (default 2)
+//!   --cache-size N              exp10 result-cache entries   (default 4096)
 //! ```
 
 use std::process::ExitCode;
@@ -52,6 +54,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut command: Option<String> = None;
     let mut cfg = HarnessConfig::default();
     let mut threads: usize = 2;
+    let mut cache_size: usize = 4096;
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -90,6 +93,14 @@ fn run(args: &[String]) -> Result<(), String> {
                     .map_err(|_| "invalid --threads value".to_string())?;
                 if threads == 0 {
                     return Err("--threads must be at least 1".to_string());
+                }
+            }
+            "--cache-size" => {
+                cache_size = next_value(&mut iter, "--cache-size")?
+                    .parse()
+                    .map_err(|_| "invalid --cache-size value".to_string())?;
+                if cache_size == 0 {
+                    return Err("--cache-size must be at least 1".to_string());
                 }
             }
             "--datasets" => {
@@ -137,6 +148,7 @@ fn run(args: &[String]) -> Result<(), String> {
             println!("Graphviz DOT of the case-study tspG:\n{dot}");
         }
         "batch" => print(vec![exp9_batch_throughput(&cfg, threads)]),
+        "exp10" | "serve" => print(vec![exp10_serving(&cfg, threads, cache_size)]),
         "all" => {
             print(vec![table1_datasets(&cfg)]);
             print(vec![exp1_response_time(&cfg)]);
@@ -152,6 +164,7 @@ fn run(args: &[String]) -> Result<(), String> {
             println!("{}", table.render());
             println!("Graphviz DOT of the case-study tspG:\n{dot}");
             print(vec![exp9_batch_throughput(&cfg, threads)]);
+            print(vec![exp10_serving(&cfg, threads, cache_size)]);
         }
         other => return Err(format!("unknown subcommand {other:?}")),
     }
@@ -169,8 +182,9 @@ fn print_help() {
     println!(
         "experiments — reproduce the paper's tables and figures\n\n\
          usage: experiments [SUBCOMMAND] [--scale tiny|small|medium] [--queries N]\n\
-                [--datasets D1,D2,...] [--seed N] [--budget-ms N] [--threads N]\n\n\
+                [--datasets D1,D2,...] [--seed N] [--budget-ms N] [--threads N]\n\
+                [--cache-size N]\n\n\
          subcommands: all (default), table1, exp1, exp2, exp3, exp4, table2,\n\
-                      exp5, exp5-theta, exp6, exp7, exp8, batch"
+                      exp5, exp5-theta, exp6, exp7, exp8, batch, exp10"
     );
 }

@@ -8,10 +8,10 @@ use crate::harness::{
 use std::time::Instant;
 use tspg_baselines::EpAlgorithm;
 use tspg_core::{
-    generate_tspg, quick_upper_bound_graph, tight_upper_bound_graph, QueryEngine, QuerySpec,
-    VugResult,
+    generate_tspg, quick_upper_bound_graph, tight_upper_bound_graph, BatchStats, CacheConfig,
+    QueryEngine, QuerySpec, VugResult,
 };
-use tspg_datasets::generate_transit;
+use tspg_datasets::{generate_repeated_workload, generate_transit, RepeatedWorkloadConfig};
 use tspg_enum::{count_paths, naive_tspg};
 use tspg_graph::{GraphStats, TimeInterval};
 
@@ -407,7 +407,9 @@ pub fn exp9_batch_throughput(cfg: &HarnessConfig, threads: usize) -> Table {
             .collect();
         let one_shot_time = started.elapsed();
 
-        let engine = QueryEngine::new(prepared.graph.clone());
+        // The cache is disabled so that the second and third runs measure
+        // the raw execution paths, not cache hits (Exp-10 measures those).
+        let engine = QueryEngine::new(prepared.graph.clone()).without_cache();
         let started = Instant::now();
         let batch_seq = engine.run_batch(queries, 1);
         let seq_time = started.elapsed();
@@ -436,6 +438,121 @@ pub fn exp9_batch_throughput(cfg: &HarnessConfig, threads: usize) -> Table {
             qps(one_shot_time),
             qps(seq_time),
             qps(par_time),
+            identical.to_string(),
+        ]);
+    }
+    table
+}
+
+/// Exp-10 (beyond the paper): serving throughput under skewed, repeated
+/// traffic — the workload shape the planner and the result cache exist for.
+///
+/// For every selected dataset a Zipf-skewed repeated-query workload
+/// (exact repeats plus narrowed-window refinements of a small catalog of
+/// hot queries) is answered two ways:
+///
+/// * **PR 2 sequential** — the engine's raw per-query path, no planning,
+///   no cache: one pipeline execution per query, in order.
+/// * **planned + cached** — `run_batch_with_stats` through an engine with
+///   an LRU result cache, fed the workload in batches so later batches hit
+///   results cached by earlier ones.
+///
+/// The table reports wall-clock and the plan counters (full pipeline runs,
+/// dedup, window-shared answers, cache hits with hit rate) plus an
+/// `identical` column cross-checking that every planned/cached answer is
+/// byte-identical to the sequential one.
+///
+/// # Panics
+///
+/// Panics if any planned/cached answer differs from the sequential one, or
+/// if planning + caching fails to answer the batch with fewer full
+/// pipeline executions than queries — both are acceptance criteria, and CI
+/// runs this experiment on every push.
+pub fn exp10_serving(cfg: &HarnessConfig, threads: usize, cache_entries: usize) -> Table {
+    let threads = threads.max(1);
+    let mut table = Table::new(
+        format!(
+            "Exp-10 — serving throughput on skewed repeated traffic \
+             ({threads} threads, cache {cache_entries} entries)"
+        ),
+        &[
+            "dataset",
+            "queries",
+            "distinct",
+            "PR2 seq",
+            "planned+cached",
+            "speedup",
+            "full runs",
+            "dedup",
+            "shared",
+            "cache hits",
+            "hit rate",
+            "identical",
+        ],
+    );
+    for spec in cfg.selected_specs() {
+        let prepared = cfg.prepare(&spec);
+        // A serving trace: 8x repetition over a catalog of hot queries.
+        let workload_cfg = RepeatedWorkloadConfig::new(
+            cfg.queries_per_dataset * 8,
+            cfg.queries_per_dataset.max(1),
+            spec.default_theta,
+        );
+        let queries = generate_repeated_workload(&prepared.graph, &workload_cfg, cfg.seed);
+        if queries.is_empty() {
+            continue;
+        }
+
+        // PR 2 sequential baseline: raw pipeline per query, no plan/cache.
+        let baseline_engine = QueryEngine::new(prepared.graph.clone()).without_cache();
+        let mut scratch = tspg_core::QueryScratch::new();
+        let started = Instant::now();
+        let baseline: Vec<VugResult> =
+            queries.iter().map(|&q| baseline_engine.run(q, &mut scratch)).collect();
+        let baseline_time = started.elapsed();
+
+        // Planned + cached serving loop: the workload arrives in batches,
+        // so later batches can hit results cached by earlier ones.
+        let engine = QueryEngine::new(prepared.graph.clone())
+            .with_cache(CacheConfig::with_max_entries(cache_entries.max(1)));
+        let mut stats = BatchStats::default();
+        let mut answers: Vec<VugResult> = Vec::with_capacity(queries.len());
+        let batch_size = queries.len().div_ceil(4).max(1);
+        let started = Instant::now();
+        for batch in queries.chunks(batch_size) {
+            let (results, batch_stats) = engine.run_batch_with_stats(batch, threads);
+            stats.merge(&batch_stats);
+            answers.extend(results);
+        }
+        let served_time = started.elapsed();
+
+        let identical = baseline.iter().zip(answers.iter()).all(|(a, b)| a.tspg == b.tspg);
+        assert!(identical, "{}: planned/cached answers diverged from PR 2 sequential", spec.id);
+        assert!(
+            stats.executed_units < queries.len(),
+            "{}: {} full pipeline runs for {} queries — planning saved nothing",
+            spec.id,
+            stats.executed_units,
+            queries.len()
+        );
+        let cache = engine.cache_stats().expect("exp10 engine always has a cache");
+        let speedup = if served_time.as_secs_f64() > 0.0 {
+            format!("{:.1}x", baseline_time.as_secs_f64() / served_time.as_secs_f64())
+        } else {
+            "-".to_string()
+        };
+        table.push_row(vec![
+            prepared.id.clone(),
+            queries.len().to_string(),
+            workload_cfg.distinct.to_string(),
+            format_duration(baseline_time),
+            format_duration(served_time),
+            speedup,
+            stats.executed_units.to_string(),
+            stats.dedup_answered.to_string(),
+            stats.shared_answered.to_string(),
+            stats.cache_hits.to_string(),
+            format!("{:.1}%", 100.0 * cache.hit_rate()),
             identical.to_string(),
         ]);
     }
@@ -552,6 +669,15 @@ mod tests {
     #[test]
     fn exp9_reports_identical_results_across_execution_modes() {
         let t = exp9_batch_throughput(&smoke_cfg(), 2);
+        assert_eq!(t.num_rows(), 1);
+        let text = t.render();
+        assert!(text.contains("true"), "{text}");
+        assert!(!text.contains("false"), "{text}");
+    }
+
+    #[test]
+    fn exp10_saves_pipeline_executions_and_stays_identical() {
+        let t = exp10_serving(&smoke_cfg(), 2, 256);
         assert_eq!(t.num_rows(), 1);
         let text = t.render();
         assert!(text.contains("true"), "{text}");

@@ -7,7 +7,8 @@
 //!            [--algorithm vug|epdt|epes|eptg] [--dot]
 //! tspg paths <edge-list> --source S --target T --begin B --end E [--limit N]
 //! tspg workload <edge-list> --queries N --theta T [--seed N] [--output FILE]
-//! tspg batch <edge-list> <query-file> [--threads N] [--quiet]
+//! tspg batch <edge-list> <query-file> [--threads N] [--cache-size N]
+//!            [--no-cache] [--quiet]
 //! ```
 //!
 //! The edge-list format is one `src dst timestamp` triple per line (`#` and
@@ -19,7 +20,7 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 use std::time::Instant;
 use tspg_baselines::{run_ep, EpAlgorithm};
-use tspg_core::{generate_tspg, QueryEngine, QuerySpec};
+use tspg_core::{generate_tspg, CacheConfig, QueryEngine, QuerySpec};
 use tspg_datasets::{find, format_queries, generate_workload, parse_queries, Scale};
 use tspg_enum::{enumerate_paths, Budget};
 use tspg_graph::{io, GraphStats, TemporalGraph, TimeInterval, VertexId};
@@ -66,7 +67,8 @@ fn usage() -> String {
                   [--algorithm vug|epdt|epes|eptg] [--dot]\n\
        tspg paths <edge-list> --source S --target T --begin B --end E [--limit N]\n\
        tspg workload <edge-list> --queries N --theta T [--seed N] [--output FILE]\n\
-       tspg batch <edge-list> <query-file> [--threads N] [--quiet]\n"
+       tspg batch <edge-list> <query-file> [--threads N] [--cache-size N]\n\
+                  [--no-cache] [--quiet]\n"
         .to_string()
 }
 
@@ -78,7 +80,7 @@ fn parse_flags(args: &[String]) -> Result<(Vec<String>, HashMap<String, String>)
     while let Some(arg) = iter.next() {
         if let Some(name) = arg.strip_prefix("--") {
             let value = match name {
-                "dot" | "quiet" => "true".to_string(),
+                "dot" | "quiet" | "no-cache" => "true".to_string(),
                 _ => iter.next().cloned().ok_or_else(|| format!("--{name} expects a value"))?,
             };
             flags.insert(name.to_string(), value);
@@ -268,6 +270,12 @@ fn cmd_batch(args: &[String]) -> Result<String, String> {
         return Err("--threads must be at least 1".to_string());
     }
     let quiet = flags.contains_key("quiet");
+    // `--cache-size 0` and `--no-cache` both disable the result cache.
+    let cache_entries: Option<usize> = match flags.get("cache-size") {
+        Some(v) => Some(parse_number(v, "cache size")?),
+        None => None,
+    };
+    let no_cache = flags.contains_key("no-cache") || cache_entries == Some(0);
     let graph = load_graph(graph_path)?;
     let text = std::fs::read_to_string(query_path)
         .map_err(|e| format!("cannot read {query_path}: {e}"))?;
@@ -276,15 +284,24 @@ fn cmd_batch(args: &[String]) -> Result<String, String> {
         return Err(format!("{query_path} contains no queries"));
     }
 
-    let engine = QueryEngine::new(graph);
+    let mut engine = QueryEngine::new(graph);
+    engine = match (no_cache, cache_entries) {
+        (true, _) => engine.without_cache(),
+        (false, Some(entries)) => engine.with_cache(CacheConfig::with_max_entries(entries)),
+        (false, None) => engine,
+    };
     let started = Instant::now();
-    let results = engine.run_batch(&queries, threads);
+    let (results, stats) = engine.run_batch_with_stats(&queries, threads);
     let wall = started.elapsed();
 
     let mut out = String::new();
     let mut total_edges = 0u64;
     let mut slowest = std::time::Duration::ZERO;
     for (i, (q, r)) in queries.iter().zip(results.iter()).enumerate() {
+        // `time=` is the pipeline time in the slot's report. Answers copied
+        // from a duplicate, the cache or a covering unit carry the report
+        // of the run that produced the result, not this batch's marginal
+        // cost — the aggregate line's wall-clock is the spend of this run.
         let elapsed = r.report.total_elapsed();
         slowest = slowest.max(elapsed);
         total_edges += r.report.result_edges as u64;
@@ -304,6 +321,26 @@ fn cmd_batch(args: &[String]) -> Result<String, String> {
         "answered {} queries in {wall:?} ({qps:.0} queries/s, threads={threads}, \
          slowest={slowest:?}, total tspG edges={total_edges})\n",
         results.len(),
+    ));
+    let cache_cell = match engine.cache_stats() {
+        Some(c) => format!(
+            "cache_hits={} hit_rate={:.1}% entries={} bytes={}",
+            stats.cache_hits,
+            100.0 * c.hit_rate(),
+            c.entries,
+            c.bytes
+        ),
+        None => "cache=off".to_string(),
+    };
+    out.push_str(&format!(
+        "plan: units={} dedup={} shared={} degenerate={} {cache_cell} \
+         (pipeline runs {} of {} queries)\n",
+        stats.executed_units,
+        stats.dedup_answered,
+        stats.shared_answered,
+        stats.degenerate,
+        stats.executed_units,
+        stats.queries,
     ));
     Ok(out)
 }
@@ -459,12 +496,55 @@ mod tests {
         assert_eq!(strip(&sequential), strip(&parallel));
         assert_eq!(strip(&sequential).len(), 8);
 
-        // --quiet keeps only the aggregate line.
+        // --quiet keeps only the aggregate and plan-stats lines.
         let quiet = dispatch(&args(&["batch", g, q, "--quiet"])).unwrap();
-        assert_eq!(quiet.lines().count(), 1, "{quiet}");
+        assert_eq!(quiet.lines().count(), 2, "{quiet}");
+        assert!(quiet.lines().last().unwrap().starts_with("plan:"), "{quiet}");
 
         std::fs::remove_file(graph_path).ok();
         std::fs::remove_file(query_path).ok();
+    }
+
+    #[test]
+    fn batch_command_reports_plan_and_cache_stats() {
+        let graph_path = fixture_file();
+        let g = graph_path.to_str().unwrap();
+        let query_path = std::env::temp_dir().join(format!(
+            "tspg_cli_planstats_{}_{:?}.txt",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        // Two duplicates of a wide query, one contained window, one
+        // degenerate query and one independent query.
+        std::fs::write(&query_path, "0 7 2 7\n0 7 2 7\n0 7 3 6\n4 4 2 7\n7 0 2 7\n").unwrap();
+        let q = query_path.to_str().unwrap();
+
+        let out = dispatch(&args(&["batch", g, q, "--quiet"])).unwrap();
+        let plan = out.lines().last().unwrap();
+        assert!(plan.contains("units=2"), "{plan}");
+        assert!(plan.contains("dedup=1"), "{plan}");
+        assert!(plan.contains("shared=1"), "{plan}");
+        assert!(plan.contains("degenerate=1"), "{plan}");
+        assert!(plan.contains("pipeline runs 2 of 5 queries"), "{plan}");
+        assert!(plan.contains("cache_hits=0"), "{plan}");
+
+        // --no-cache and --cache-size 0 drop the cache columns.
+        for disable in [
+            &["batch", g, q, "--quiet", "--no-cache"][..],
+            &["batch", g, q, "--quiet", "--cache-size", "0"][..],
+        ] {
+            let out = dispatch(&args(disable)).unwrap();
+            assert!(out.lines().last().unwrap().contains("cache=off"), "{out}");
+        }
+
+        // An explicit cache size is accepted; a bad one is rejected.
+        let out = dispatch(&args(&["batch", g, q, "--quiet", "--cache-size", "128"])).unwrap();
+        assert!(out.lines().last().unwrap().contains("entries="), "{out}");
+        let err = dispatch(&args(&["batch", g, q, "--cache-size", "lots"])).unwrap_err();
+        assert!(err.contains("cache size"), "{err}");
+
+        std::fs::remove_file(query_path).ok();
+        std::fs::remove_file(graph_path).ok();
     }
 
     #[test]

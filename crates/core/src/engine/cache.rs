@@ -1,0 +1,414 @@
+//! Sharded LRU cache of query results, keyed by canonical
+//! `(s, t, [τ_b, τ_e])` queries.
+//!
+//! The engine's graph is immutable once loaded, so a query's tspG never
+//! changes and memoizing whole [`VugResult`]s is sound. The cache is
+//! consulted before batch planning and populated after execution; under
+//! repeated-query serving traffic a hit skips the entire pipeline.
+//!
+//! The map is split into independently locked shards (key-hash selected) so
+//! that concurrent executor workers and front-end threads do not serialize
+//! on one mutex. Each shard maintains its own intrusive LRU list and is
+//! bounded both by entry count and by approximate heap bytes; inserting
+//! past either bound evicts least-recently-used entries. Hit / miss /
+//! insert / evict counters are global atomics, readable at any time via
+//! [`ResultCache::stats`] without taking a shard lock.
+
+use crate::engine::QuerySpec;
+use crate::vug::{VugReport, VugResult};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use tspg_graph::EdgeSet;
+
+/// Sizing of a [`ResultCache`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Maximum number of cached results across all shards (≥ 1).
+    pub max_entries: usize,
+    /// Approximate upper bound on cached heap bytes across all shards.
+    /// Results larger than one shard's share are not cached at all.
+    pub max_bytes: usize,
+    /// Number of independently locked shards (≥ 1; rounded up to 1).
+    pub shards: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self { max_entries: 4096, max_bytes: 64 << 20, shards: 8 }
+    }
+}
+
+impl CacheConfig {
+    /// A config with the given entry bound and the default byte/shard
+    /// limits.
+    pub fn with_max_entries(max_entries: usize) -> Self {
+        Self { max_entries: max_entries.max(1), ..Self::default() }
+    }
+}
+
+/// A snapshot of the cache's counters and current occupancy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Results stored (excluding replaced duplicates).
+    pub insertions: u64,
+    /// Entries dropped to satisfy the entry or byte bound.
+    pub evictions: u64,
+    /// Resident entries right now.
+    pub entries: usize,
+    /// Approximate resident heap bytes right now.
+    pub bytes: usize,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`; 0 when no lookups happened yet.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+const NIL: usize = usize::MAX;
+
+/// One cached result inside a shard's slot arena, threaded on the shard's
+/// doubly linked LRU list (`head` = most recently used).
+#[derive(Debug)]
+struct Slot {
+    key: QuerySpec,
+    value: VugResult,
+    bytes: usize,
+    prev: usize,
+    next: usize,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<QuerySpec, usize>,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    bytes: usize,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Self { head: NIL, tail: NIL, ..Self::default() }
+    }
+
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.slots[slot].prev, self.slots[slot].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.slots[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slots[n].prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, slot: usize) {
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = self.head;
+        match self.head {
+            NIL => self.tail = slot,
+            h => self.slots[h].prev = slot,
+        }
+        self.head = slot;
+    }
+
+    fn get(&mut self, key: &QuerySpec) -> Option<VugResult> {
+        let slot = *self.map.get(key)?;
+        self.unlink(slot);
+        self.push_front(slot);
+        Some(self.slots[slot].value.clone())
+    }
+
+    /// Inserts (or refreshes) an entry, then evicts from the tail until the
+    /// shard is within both bounds. Returns `(inserted, evicted)`.
+    fn insert(
+        &mut self,
+        key: QuerySpec,
+        value: &VugResult,
+        bytes: usize,
+        max_entries: usize,
+        max_bytes: usize,
+    ) -> (bool, u64) {
+        if bytes > max_bytes || max_entries == 0 {
+            return (false, 0);
+        }
+        let inserted = match self.map.get(&key) {
+            Some(&slot) => {
+                // Same canonical query ⇒ same tspG; just refresh recency.
+                self.unlink(slot);
+                self.push_front(slot);
+                false
+            }
+            None => {
+                let slot = match self.free.pop() {
+                    Some(reused) => {
+                        self.slots[reused] =
+                            Slot { key, value: value.clone(), bytes, prev: NIL, next: NIL };
+                        reused
+                    }
+                    None => {
+                        self.slots.push(Slot {
+                            key,
+                            value: value.clone(),
+                            bytes,
+                            prev: NIL,
+                            next: NIL,
+                        });
+                        self.slots.len() - 1
+                    }
+                };
+                self.map.insert(key, slot);
+                self.push_front(slot);
+                self.bytes += bytes;
+                true
+            }
+        };
+        let mut evicted = 0;
+        while self.map.len() > max_entries || (self.bytes > max_bytes && self.map.len() > 1) {
+            let tail = self.tail;
+            debug_assert_ne!(tail, NIL);
+            self.unlink(tail);
+            self.bytes -= self.slots[tail].bytes;
+            self.map.remove(&self.slots[tail].key);
+            // Drop the evicted result now — a free slot must not pin the
+            // tspG's heap allocation until its eventual reuse, or real
+            // memory could exceed the byte bound stats() reports against.
+            self.slots[tail].value =
+                VugResult { tspg: EdgeSet::new(), report: VugReport::default() };
+            self.slots[tail].bytes = 0;
+            self.free.push(tail);
+            evicted += 1;
+        }
+        (inserted, evicted)
+    }
+}
+
+/// The engine's sharded LRU result cache. See the module docs.
+#[derive(Debug)]
+pub struct ResultCache {
+    shards: Vec<Mutex<Shard>>,
+    max_entries_per_shard: usize,
+    max_bytes_per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ResultCache {
+    /// Creates an empty cache with the given bounds.
+    pub fn new(config: CacheConfig) -> Self {
+        // Never more shards than entries: each shard holds at least one
+        // entry, so excess shards would silently inflate the global bound.
+        let shards = config.shards.clamp(1, config.max_entries.max(1));
+        Self {
+            shards: (0..shards).map(|_| Mutex::new(Shard::new())).collect(),
+            max_entries_per_shard: (config.max_entries / shards).max(1),
+            max_bytes_per_shard: (config.max_bytes / shards).max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &QuerySpec) -> &Mutex<Shard> {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % self.shards.len()]
+    }
+
+    /// Looks up the result of a canonical query, refreshing its recency.
+    pub fn get(&self, key: &QuerySpec) -> Option<VugResult> {
+        let result = self.shard(key).lock().ok()?.get(key);
+        match result {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        result
+    }
+
+    /// Stores the result of a canonical query, evicting LRU entries as
+    /// needed. Oversized results (larger than one shard's byte share) are
+    /// silently skipped.
+    pub fn insert(&self, key: QuerySpec, value: &VugResult) {
+        let bytes = entry_bytes(value);
+        let Ok(mut shard) = self.shard(&key).lock() else { return };
+        let (inserted, evicted) =
+            shard.insert(key, value, bytes, self.max_entries_per_shard, self.max_bytes_per_shard);
+        drop(shard);
+        if inserted {
+            self.insertions.fetch_add(1, Ordering::Relaxed);
+        }
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    /// Counters plus current occupancy.
+    pub fn stats(&self) -> CacheStats {
+        let (mut entries, mut bytes) = (0, 0);
+        for shard in &self.shards {
+            if let Ok(shard) = shard.lock() {
+                entries += shard.map.len();
+                bytes += shard.bytes;
+            }
+        }
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries,
+            bytes,
+        }
+    }
+}
+
+/// Approximate heap footprint of one cached entry.
+fn entry_bytes(value: &VugResult) -> usize {
+    value.tspg.approx_bytes()
+        + std::mem::size_of::<VugResult>()
+        + std::mem::size_of::<QuerySpec>()
+        + std::mem::size_of::<Slot>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vug::VugReport;
+    use tspg_graph::{EdgeSet, TemporalEdge, TimeInterval};
+
+    fn key(i: i64) -> QuerySpec {
+        QuerySpec::new(0, 1, TimeInterval::new(i, i + 3))
+    }
+
+    fn result(edges: usize) -> VugResult {
+        let tspg = EdgeSet::from_edges((0..edges).map(|i| TemporalEdge::new(0, 1, i as i64 + 1)));
+        VugResult { tspg, report: VugReport::default() }
+    }
+
+    fn single_shard(max_entries: usize, max_bytes: usize) -> ResultCache {
+        ResultCache::new(CacheConfig { max_entries, max_bytes, shards: 1 })
+    }
+
+    #[test]
+    fn get_after_insert_roundtrips_and_counts() {
+        let cache = ResultCache::new(CacheConfig::default());
+        assert!(cache.get(&key(0)).is_none());
+        cache.insert(key(0), &result(3));
+        let hit = cache.get(&key(0)).expect("hit");
+        assert_eq!(hit.tspg, result(3).tspg);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.insertions), (1, 1, 1));
+        assert_eq!(stats.entries, 1);
+        assert!(stats.bytes > 0);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used_entry() {
+        let cache = single_shard(2, usize::MAX >> 1);
+        cache.insert(key(1), &result(1));
+        cache.insert(key(2), &result(1));
+        // Touch key 1 so key 2 becomes LRU.
+        assert!(cache.get(&key(1)).is_some());
+        cache.insert(key(3), &result(1));
+        assert!(cache.get(&key(2)).is_none(), "LRU entry must be evicted");
+        assert!(cache.get(&key(1)).is_some());
+        assert!(cache.get(&key(3)).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn byte_bound_evicts_and_oversized_results_are_skipped() {
+        let per_entry = entry_bytes(&result(4));
+        let cache = single_shard(1024, 2 * per_entry + per_entry / 2);
+        cache.insert(key(1), &result(4));
+        cache.insert(key(2), &result(4));
+        cache.insert(key(3), &result(4));
+        let stats = cache.stats();
+        assert!(stats.entries <= 2, "byte bound must hold: {stats:?}");
+        assert!(stats.bytes <= 2 * per_entry + per_entry / 2);
+        assert!(stats.evictions >= 1);
+        // A result bigger than the whole shard is never admitted.
+        let tiny = single_shard(1024, per_entry / 2);
+        tiny.insert(key(9), &result(4));
+        assert_eq!(tiny.stats().entries, 0);
+        assert!(tiny.get(&key(9)).is_none());
+    }
+
+    #[test]
+    fn reinserting_a_key_refreshes_recency_without_double_counting() {
+        let cache = single_shard(2, usize::MAX >> 1);
+        cache.insert(key(1), &result(1));
+        cache.insert(key(2), &result(1));
+        cache.insert(key(1), &result(1)); // refresh, not a new entry
+        assert_eq!(cache.stats().insertions, 2);
+        assert_eq!(cache.stats().entries, 2);
+        cache.insert(key(3), &result(1));
+        assert!(cache.get(&key(1)).is_some(), "refreshed key must survive");
+        assert!(cache.get(&key(2)).is_none());
+    }
+
+    #[test]
+    fn tiny_entry_bounds_are_honored_even_with_many_shards() {
+        // max_entries < shards must not inflate the global bound to one
+        // entry per shard.
+        let cache = ResultCache::new(CacheConfig { max_entries: 2, max_bytes: 1 << 20, shards: 8 });
+        for i in 0..32 {
+            cache.insert(key(i), &result(1));
+        }
+        assert!(cache.stats().entries <= 2, "{:?}", cache.stats());
+    }
+
+    #[test]
+    fn shards_partition_the_bounds() {
+        let cache = ResultCache::new(CacheConfig { max_entries: 8, max_bytes: 1 << 20, shards: 4 });
+        for i in 0..64 {
+            cache.insert(key(i), &result(1));
+        }
+        let stats = cache.stats();
+        assert!(stats.entries <= 8, "{stats:?}");
+        assert!(stats.evictions >= 56);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let cache =
+            ResultCache::new(CacheConfig { max_entries: 64, max_bytes: 1 << 20, shards: 4 });
+        std::thread::scope(|scope| {
+            for worker in 0..4i64 {
+                let cache = &cache;
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        let k = key((i + worker) % 32);
+                        if cache.get(&k).is_none() {
+                            cache.insert(k, &result(2));
+                        }
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert!(stats.hits + stats.misses == 400);
+        assert!(stats.entries <= 64);
+    }
+}

@@ -1,0 +1,110 @@
+//! Work-stealing execution of a [`BatchPlan`](crate::engine::planner::BatchPlan).
+//!
+//! PR 2's `run_batch` split the query list into contiguous chunks, one per
+//! worker. That balances *counts*, not *costs*: one chunk holding the few
+//! expensive queries of a skewed batch leaves every other worker idle while
+//! its owner grinds. The executor replaces chunking with a single atomic
+//! cursor over the plan's units — every worker repeatedly claims the next
+//! unexecuted unit until the cursor passes the end, so imbalance is bounded
+//! by one unit rather than one chunk.
+//!
+//! A unit's job is self-contained: run the unit's query against the full
+//! graph, then answer each follower by re-running the pipeline on the just
+//! computed tspG (materialized once per unit), all out of the same worker
+//! scratch. Follower answering therefore inherits the unit's cache-warm
+//! scratch and never touches another worker's state. The trade-off: a
+//! unit's followers run serially on the worker that claimed the unit, so a
+//! single hot query with very many narrowed repeats can still tail-load
+//! one worker — acceptable because follower runs are tspG-sized (tiny),
+//! but making followers individually claimable is a known follow-on
+//! (see ROADMAP).
+//!
+//! The worker count is clamped to the number of pending units, so tiny
+//! batches stop paying thread start-up for workers that would find the
+//! cursor already exhausted.
+
+use crate::engine::planner::PlanUnit;
+use crate::engine::{generate_tspg_scratch, QueryEngine, QueryScratch};
+use crate::vug::VugResult;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The results of one executed [`PlanUnit`]: the unit query's own result
+/// plus one result per follower (parallel to `unit.followers`).
+#[derive(Debug)]
+pub(crate) struct UnitOutcome {
+    pub main: VugResult,
+    pub followers: Vec<VugResult>,
+}
+
+/// Executes every unit of a plan across at most `threads` workers and
+/// returns the outcomes in unit order.
+pub(crate) fn execute(
+    engine: &QueryEngine,
+    units: &[PlanUnit],
+    threads: usize,
+) -> Vec<UnitOutcome> {
+    let threads = threads.clamp(1, units.len().max(1));
+    if threads == 1 {
+        let mut scratch = engine.checkout_scratch();
+        let outcomes = units.iter().map(|u| execute_unit(engine, u, &mut scratch)).collect();
+        engine.return_scratch(scratch);
+        return outcomes;
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut outcomes: Vec<Option<UnitOutcome>> = Vec::new();
+    outcomes.resize_with(units.len(), || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let cursor = &cursor;
+                scope.spawn(move || {
+                    let mut scratch = engine.checkout_scratch();
+                    let mut done: Vec<(usize, UnitOutcome)> = Vec::new();
+                    loop {
+                        let index = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(unit) = units.get(index) else { break };
+                        done.push((index, execute_unit(engine, unit, &mut scratch)));
+                    }
+                    engine.return_scratch(scratch);
+                    done
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (index, outcome) in handle.join().expect("executor worker panicked") {
+                outcomes[index] = Some(outcome);
+            }
+        }
+    });
+    outcomes.into_iter().map(|o| o.expect("the cursor visits every unit")).collect()
+}
+
+/// Runs one unit: its own query on the full graph, then every follower on
+/// the unit's tspG.
+///
+/// Correctness of the follower path: a follower's window is contained in
+/// the unit's window on the same `(s, t)`, so every temporal simple path
+/// satisfying the follower also satisfies the unit and all its edges are in
+/// the unit's tspG. Conversely the tspG is a subgraph of the input, so it
+/// adds no paths. The follower's set of temporal simple paths — and hence
+/// its tspG — is identical whether computed on the full graph or on the
+/// unit's tspG, and the latter is usually orders of magnitude smaller.
+fn execute_unit(engine: &QueryEngine, unit: &PlanUnit, scratch: &mut QueryScratch) -> UnitOutcome {
+    let main = engine.run(unit.query, scratch);
+    let mut followers = Vec::with_capacity(unit.followers.len());
+    if !unit.followers.is_empty() {
+        let shared = main.tspg.to_graph(engine.graph().num_vertices());
+        for follower in &unit.followers {
+            followers.push(generate_tspg_scratch(
+                &shared,
+                follower.query.source,
+                follower.query.target,
+                follower.query.window,
+                engine.config(),
+                scratch,
+            ));
+        }
+    }
+    UnitOutcome { main, followers }
+}

@@ -1,0 +1,249 @@
+//! Batch planning: collapse duplicate queries and attach window-contained
+//! queries to the unit whose result already covers them.
+//!
+//! The planner turns the flat query list of a batch into a [`BatchPlan`] of
+//! executable [`PlanUnit`]s. Two reductions are applied, both purely
+//! syntactic on the canonical query forms (no graph access):
+//!
+//! 1. **Dedup** — queries with identical canonical form share one unit; the
+//!    unit's result is copied into every duplicate's result slot.
+//! 2. **Window sharing** — a query whose window is *contained* in another
+//!    query's window on the same `(s, t)` pair is attached to the covering
+//!    unit as a [`Follower`]. Every temporal simple path of the narrower
+//!    query lies within the covering window, hence inside the covering
+//!    unit's tspG (Definition 2); the follower is therefore answered exactly
+//!    by re-running the pipeline *on that tspG* — usually orders of
+//!    magnitude smaller than the input graph — instead of on the full graph.
+//!
+//! The planner never changes answers, only who computes them: the executor
+//! runs one full-graph pipeline per unit and one tspG-sized pipeline per
+//! follower, and the assembly step fans results back out to the original
+//! query order.
+
+use crate::engine::QuerySpec;
+use std::collections::HashMap;
+use tspg_graph::VertexId;
+
+/// One executable unit of a [`BatchPlan`]: a distinct canonical query, the
+/// original batch positions it answers directly, and the contained-window
+/// queries answered from its result.
+#[derive(Clone, Debug)]
+pub struct PlanUnit {
+    /// The canonical query the executor runs against the full graph.
+    pub query: QuerySpec,
+    /// Positions in the original batch answered by this unit's result
+    /// verbatim (the unit's own query plus exact duplicates).
+    pub direct: Vec<usize>,
+    /// Distinct narrower queries answered by re-running the pipeline on
+    /// this unit's tspG.
+    pub followers: Vec<Follower>,
+}
+
+/// A distinct query whose window is contained in its unit's window.
+#[derive(Clone, Debug)]
+pub struct Follower {
+    /// The narrower canonical query.
+    pub query: QuerySpec,
+    /// Positions in the original batch answered by this follower's result
+    /// (the follower plus its exact duplicates).
+    pub indexes: Vec<usize>,
+}
+
+/// The execution plan of one batch: units to run, and counters describing
+/// how much work planning saved.
+#[derive(Clone, Debug, Default)]
+pub struct BatchPlan {
+    units: Vec<PlanUnit>,
+    planned_queries: usize,
+    dedup_answered: usize,
+    shared_answered: usize,
+}
+
+impl BatchPlan {
+    /// The executable units, ordered by their first appearance in the batch.
+    pub fn units(&self) -> &[PlanUnit] {
+        &self.units
+    }
+
+    /// Number of full-graph pipeline executions the plan requires.
+    pub fn num_units(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Number of queries handed to the planner.
+    pub fn planned_queries(&self) -> usize {
+        self.planned_queries
+    }
+
+    /// Queries answered by copying another identical query's result
+    /// (duplicates beyond the first occurrence, including duplicate
+    /// followers).
+    pub fn dedup_answered(&self) -> usize {
+        self.dedup_answered
+    }
+
+    /// Queries answered from a covering unit's tspG instead of the full
+    /// graph (counting duplicates of followers once each).
+    pub fn shared_answered(&self) -> usize {
+        self.shared_answered
+    }
+}
+
+/// Builds the execution plan for `pending`: pairs of (original batch
+/// position, canonical query). Degenerate queries and cache hits must
+/// already have been filtered out by the caller.
+pub fn plan(pending: &[(usize, QuerySpec)]) -> BatchPlan {
+    // 1. Dedup: canonical query -> every batch position asking it. The
+    //    distinct list preserves first-appearance order so that planning is
+    //    deterministic regardless of hash iteration order.
+    let mut by_query: HashMap<QuerySpec, usize> = HashMap::with_capacity(pending.len());
+    let mut distinct: Vec<(QuerySpec, Vec<usize>)> = Vec::new();
+    for &(index, query) in pending {
+        match by_query.get(&query) {
+            Some(&slot) => distinct[slot].1.push(index),
+            None => {
+                by_query.insert(query, distinct.len());
+                distinct.push((query, vec![index]));
+            }
+        }
+    }
+    let dedup_answered = pending.len() - distinct.len();
+
+    // 2. Group distinct queries by endpoint pair.
+    let mut groups: HashMap<(VertexId, VertexId), Vec<usize>> = HashMap::new();
+    for (slot, (query, _)) in distinct.iter().enumerate() {
+        groups.entry((query.source, query.target)).or_default().push(slot);
+    }
+
+    // 3. Containment sweep per group. Sorting windows by (begin asc, end
+    //    desc) means every earlier entry starts no later than the current
+    //    one, so the current window is contained in *some* earlier unit iff
+    //    it is contained in the earlier unit with the maximum end.
+    let mut units: Vec<PlanUnit> = Vec::new();
+    let mut shared_answered = 0usize;
+    for slots in groups.values() {
+        let mut ordered: Vec<usize> = slots.clone();
+        ordered.sort_by_key(|&slot| {
+            let w = distinct[slot].0.window;
+            (w.begin(), std::cmp::Reverse(w.end()))
+        });
+        // (end of the widest unit so far, its index in `units`)
+        let mut widest: Option<(i64, usize)> = None;
+        for slot in ordered {
+            let (query, ref indexes) = distinct[slot];
+            match widest {
+                Some((max_end, unit)) if max_end >= query.window.end() => {
+                    debug_assert!(units[unit].query.covers(&query));
+                    units[unit].followers.push(Follower { query, indexes: indexes.clone() });
+                    shared_answered += 1;
+                }
+                _ => {
+                    units.push(PlanUnit { query, direct: indexes.clone(), followers: Vec::new() });
+                    if widest.is_none_or(|(max_end, _)| query.window.end() > max_end) {
+                        widest = Some((query.window.end(), units.len() - 1));
+                    }
+                }
+            }
+        }
+    }
+
+    // 4. Deterministic unit order: first batch appearance.
+    units.sort_by_key(|u| u.direct[0]);
+
+    BatchPlan { units, planned_queries: pending.len(), dedup_answered, shared_answered }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tspg_graph::TimeInterval;
+
+    fn q(s: u32, t: u32, b: i64, e: i64) -> QuerySpec {
+        QuerySpec::new(s, t, TimeInterval::new(b, e))
+    }
+
+    fn indexed(queries: &[QuerySpec]) -> Vec<(usize, QuerySpec)> {
+        queries.iter().copied().enumerate().collect()
+    }
+
+    #[test]
+    fn exact_duplicates_collapse_to_one_unit() {
+        let plan = plan(&indexed(&[q(0, 7, 2, 7), q(1, 5, 1, 4), q(0, 7, 2, 7), q(0, 7, 2, 7)]));
+        assert_eq!(plan.num_units(), 2);
+        assert_eq!(plan.dedup_answered(), 2);
+        assert_eq!(plan.shared_answered(), 0);
+        let unit = &plan.units()[0];
+        assert_eq!(unit.query, q(0, 7, 2, 7));
+        assert_eq!(unit.direct, vec![0, 2, 3]);
+        assert_eq!(plan.units()[1].direct, vec![1]);
+    }
+
+    #[test]
+    fn contained_windows_attach_to_the_covering_unit() {
+        let plan = plan(&indexed(&[q(0, 7, 0, 10), q(0, 7, 2, 7), q(0, 7, 3, 5)]));
+        assert_eq!(plan.num_units(), 1, "both narrower windows share the wide unit");
+        assert_eq!(plan.shared_answered(), 2);
+        let unit = &plan.units()[0];
+        assert_eq!(unit.query, q(0, 7, 0, 10));
+        assert_eq!(unit.followers.len(), 2);
+        for f in &unit.followers {
+            assert!(unit.query.covers(&f.query));
+        }
+    }
+
+    #[test]
+    fn containment_chains_attach_to_the_widest_window() {
+        // A ⊇ B ⊇ C: both B and C become followers of A, not of each other.
+        let plan = plan(&indexed(&[q(1, 2, 3, 4), q(1, 2, 1, 8), q(1, 2, 2, 6)]));
+        assert_eq!(plan.num_units(), 1);
+        assert_eq!(plan.units()[0].query, q(1, 2, 1, 8));
+        assert_eq!(plan.units()[0].followers.len(), 2);
+        assert_eq!(plan.units()[0].direct, vec![1]);
+    }
+
+    #[test]
+    fn overlap_without_containment_stays_separate() {
+        let plan = plan(&indexed(&[q(0, 1, 0, 5), q(0, 1, 3, 8)]));
+        assert_eq!(plan.num_units(), 2);
+        assert_eq!(plan.shared_answered(), 0);
+    }
+
+    #[test]
+    fn different_endpoints_never_share() {
+        let plan = plan(&indexed(&[q(0, 1, 0, 10), q(1, 0, 2, 7), q(0, 2, 2, 7)]));
+        assert_eq!(plan.num_units(), 3);
+        assert_eq!(plan.shared_answered(), 0);
+    }
+
+    #[test]
+    fn duplicate_followers_count_once_as_shared() {
+        let plan = plan(&indexed(&[q(0, 1, 0, 10), q(0, 1, 2, 5), q(0, 1, 2, 5)]));
+        assert_eq!(plan.num_units(), 1);
+        assert_eq!(plan.dedup_answered(), 1);
+        assert_eq!(plan.shared_answered(), 1);
+        assert_eq!(plan.units()[0].followers[0].indexes, vec![1, 2]);
+    }
+
+    #[test]
+    fn equal_begin_prefers_the_wider_window_as_unit() {
+        let plan = plan(&indexed(&[q(0, 1, 2, 5), q(0, 1, 2, 9)]));
+        assert_eq!(plan.num_units(), 1);
+        assert_eq!(plan.units()[0].query, q(0, 1, 2, 9));
+        assert_eq!(plan.units()[0].followers[0].query, q(0, 1, 2, 5));
+    }
+
+    #[test]
+    fn unit_order_follows_first_batch_appearance() {
+        let plan = plan(&indexed(&[q(5, 6, 1, 2), q(3, 4, 1, 2), q(1, 2, 1, 2)]));
+        let firsts: Vec<usize> = plan.units().iter().map(|u| u.direct[0]).collect();
+        assert_eq!(firsts, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_input_yields_an_empty_plan() {
+        let plan = plan(&[]);
+        assert_eq!(plan.num_units(), 0);
+        assert_eq!(plan.planned_queries(), 0);
+        assert_eq!(plan.dedup_answered(), 0);
+    }
+}

@@ -23,9 +23,13 @@
 //!    replaceable parallel edges (Lemma 11).
 //!
 //! For answering **many** queries over one loaded graph, the [`engine`]
-//! module provides [`QueryEngine`]: it reuses a per-worker [`QueryScratch`]
-//! arena across queries (zero steady-state allocation) and runs batches in
-//! parallel across scoped threads with deterministic result ordering.
+//! module provides [`QueryEngine`]: batches go through a **plan → execute →
+//! assemble** pipeline — duplicate queries collapse, window-contained
+//! queries are answered from the covering query's tspG, execution is an
+//! atomic-cursor work-stealing loop across scoped threads (each worker
+//! reusing a [`QueryScratch`] arena, zero steady-state allocation), and a
+//! sharded LRU [`engine::cache::ResultCache`] memoizes `(s, t, window)` →
+//! tspG across batches. Result ordering stays deterministic throughout.
 //!
 //! # Quick start
 //!
@@ -56,7 +60,9 @@ pub use bidir::{BidirOptions, BidirScratch, BidirSearcher, BidirStats};
 pub use eev::{
     escaped_edges_verification, escaped_edges_verification_with, EevOutcome, EevScratch, EevStats,
 };
-pub use engine::{QueryEngine, QueryScratch, QuerySpec};
+pub use engine::cache::{CacheConfig, CacheStats};
+pub use engine::planner::BatchPlan;
+pub use engine::{BatchStats, QueryEngine, QueryScratch, QuerySpec};
 pub use polarity::{compute_polarity, PolarityScratch, PolarityTimes};
 pub use quick_ubg::quick_upper_bound_graph;
 pub use tcv::{TcvTables, TcvValue};

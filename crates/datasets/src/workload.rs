@@ -7,8 +7,10 @@
 //!
 //! For the batch query engine this module additionally provides
 //! [`generate_workload_batches`] (reproducible multi-batch workloads, one
-//! derived seed per batch) and a textual query-file format shared with the
-//! CLI `batch` subcommand: one `source target begin end` quadruple per line,
+//! derived seed per batch), [`generate_repeated_workload`] (Zipf-skewed
+//! serving traffic with exact repeats and narrowed-window refinements, the
+//! workload shape the engine's result cache and window sharing exploit) and
+//! a textual query-file format shared with the CLI `batch` subcommand: one `source target begin end` quadruple per line,
 //! `#`/`%` comments (whole-line or trailing) and CRLF endings accepted —
 //! see [`parse_queries`] / [`format_queries`].
 
@@ -100,6 +102,82 @@ impl<'g> WorkloadGenerator<'g> {
     }
 }
 
+/// Parameters of a skewed, repeated-query workload (serving traffic).
+///
+/// Real query-serving traffic is nothing like the paper's uniform random
+/// protocol: a few hot queries are asked over and over, and narrower
+/// refinements of a hot query (same endpoints, tighter window) are common.
+/// This config models that with a Zipf-style rank distribution over a pool
+/// of distinct base queries, plus a probability of replacing a repeat with
+/// a randomly narrowed sub-window — exactly the shapes the batch engine's
+/// result cache (exact repeats) and window sharing (contained windows) are
+/// built to exploit.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RepeatedWorkloadConfig {
+    /// Total number of queries to emit.
+    pub num_queries: usize,
+    /// Number of distinct base queries sampled first (the "catalog").
+    pub distinct: usize,
+    /// Query span θ of the base queries.
+    pub theta: i64,
+    /// Zipf exponent: rank `r` (0-based) is drawn with weight
+    /// `1 / (r + 1)^skew`. `0.0` is uniform; `~1.0` is classic web-traffic
+    /// skew.
+    pub skew: f64,
+    /// Probability that an emitted repeat narrows its base query's window
+    /// to a random sub-interval (same endpoints — a window-sharing
+    /// candidate rather than an exact cache hit).
+    pub narrowed: f64,
+}
+
+impl RepeatedWorkloadConfig {
+    /// A workload of `num_queries` drawn from `distinct` base queries with
+    /// span `theta`, web-like skew (1.1) and 30% narrowed repeats.
+    pub fn new(num_queries: usize, distinct: usize, theta: i64) -> Self {
+        Self { num_queries, distinct: distinct.max(1), theta, skew: 1.1, narrowed: 0.3 }
+    }
+}
+
+/// Generates a skewed repeated-query workload (see
+/// [`RepeatedWorkloadConfig`]), deterministic in `seed`.
+///
+/// Returns an empty workload only if the graph is too sparse to generate
+/// any base query at all.
+pub fn generate_repeated_workload(
+    graph: &TemporalGraph,
+    config: &RepeatedWorkloadConfig,
+    seed: u64,
+) -> Vec<Query> {
+    let base = generate_workload(graph, config.distinct, config.theta, seed);
+    if base.is_empty() {
+        return Vec::new();
+    }
+    // Cumulative Zipf weights over the base ranks; binary search per draw.
+    let mut cumulative = Vec::with_capacity(base.len());
+    let mut total = 0.0f64;
+    for rank in 0..base.len() {
+        total += 1.0 / ((rank + 1) as f64).powf(config.skew);
+        cumulative.push(total);
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_cafe_f00d_d00d);
+    let mut queries = Vec::with_capacity(config.num_queries);
+    for _ in 0..config.num_queries {
+        let needle = rng.random::<f64>() * total;
+        let rank = cumulative.partition_point(|&c| c < needle).min(base.len() - 1);
+        let q = base[rank];
+        if rng.random_bool(config.narrowed) && q.window.span() > 1 {
+            // A random strict sub-interval: same endpoints, contained
+            // window — answerable from the base query's tspG.
+            let begin = rng.random_range(q.window.begin()..=q.window.end());
+            let end = rng.random_range(begin..=q.window.end());
+            queries.push(Query::new(q.source, q.target, TimeInterval::new(begin, end)));
+        } else {
+            queries.push(q);
+        }
+    }
+    queries
+}
+
 /// Convenience wrapper: a deterministic workload over `graph`.
 pub fn generate_workload(
     graph: &TemporalGraph,
@@ -154,6 +232,11 @@ pub fn format_queries(queries: &[Query]) -> String {
 /// One query per line as whitespace-separated `source target begin end`;
 /// `#` and `%` open comments (whole lines or trailing); blank lines and CRLF
 /// endings are tolerated. Errors name the offending 1-based line.
+///
+/// Queries come back in [`Query`]'s canonical form: a degenerate line like
+/// `4 4 2 7` (`s == t`, empty answer on any window) parses as `4 4 2 2` —
+/// re-formatting a parsed file normalizes such lines rather than preserving
+/// them byte-for-byte.
 pub fn parse_queries(text: &str) -> Result<Vec<Query>, String> {
     let mut queries = Vec::new();
     for (idx, raw) in text.lines().enumerate() {
@@ -176,9 +259,9 @@ pub fn parse_queries(text: &str) -> Result<Vec<Query>, String> {
                  expected `source target begin end`)"
             ));
         }
-        let window = TimeInterval::try_new(begin, end)
+        let query = Query::try_new(source, target, begin, end)
             .ok_or_else(|| format!("line {lineno}: invalid interval [{begin}, {end}]"))?;
-        queries.push(Query::new(source, target, window));
+        queries.push(query);
     }
     Ok(queries)
 }
@@ -270,6 +353,50 @@ mod tests {
         // full run (batch seeds are independent of predecessors).
         let c = generate_workload_batches(&g, 3, 10, 6, 7);
         assert_eq!(a[2], c[2]);
+    }
+
+    #[test]
+    fn repeated_workload_is_deterministic_and_skewed() {
+        let g = GraphGenerator::uniform(60, 800, 30).generate(2);
+        let cfg = RepeatedWorkloadConfig::new(300, 12, 6);
+        let a = generate_repeated_workload(&g, &cfg, 5);
+        let b = generate_repeated_workload(&g, &cfg, 5);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 300);
+        assert_ne!(a, generate_repeated_workload(&g, &cfg, 6));
+        // Zipf skew: the hottest base query dominates a uniform share.
+        let base = generate_workload(&g, cfg.distinct, cfg.theta, 5);
+        let hottest = a.iter().filter(|q| **q == base[0]).count();
+        assert!(
+            hottest > a.len() / cfg.distinct,
+            "rank-0 share {hottest} should beat the uniform share {}",
+            a.len() / cfg.distinct
+        );
+        // Fewer distinct queries than emitted queries: repeats exist.
+        let mut distinct = a.clone();
+        distinct.sort_by_key(|q| (q.source, q.target, q.window.begin(), q.window.end()));
+        distinct.dedup();
+        assert!(distinct.len() < a.len());
+    }
+
+    #[test]
+    fn narrowed_repeats_are_contained_in_their_base_query() {
+        let g = GraphGenerator::uniform(60, 800, 30).generate(2);
+        let cfg = RepeatedWorkloadConfig { narrowed: 1.0, ..RepeatedWorkloadConfig::new(50, 8, 6) };
+        let base = generate_workload(&g, cfg.distinct, cfg.theta, 9);
+        let queries = generate_repeated_workload(&g, &cfg, 9);
+        let mut narrowed = 0;
+        for q in &queries {
+            assert!(base.iter().any(|b| b.covers(q)), "{q:?} must be covered by some base query");
+            narrowed += usize::from(base.iter().all(|b| b != q));
+        }
+        assert!(narrowed > 0, "with narrowed=1.0 some windows must actually shrink");
+    }
+
+    #[test]
+    fn repeated_workload_on_an_empty_graph_is_empty() {
+        let cfg = RepeatedWorkloadConfig::new(10, 4, 5);
+        assert!(generate_repeated_workload(&TemporalGraph::empty(4), &cfg, 0).is_empty());
     }
 
     #[test]

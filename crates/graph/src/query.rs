@@ -1,7 +1,7 @@
 //! The query quadruple shared across the workspace.
 
 use crate::interval::TimeInterval;
-use crate::types::VertexId;
+use crate::types::{Timestamp, VertexId};
 use std::fmt;
 
 /// One temporal simple path graph query `(s, t, [τ_b, τ_e])`.
@@ -9,7 +9,22 @@ use std::fmt;
 /// This is the single query type of the workspace: `tspg-datasets` generates
 /// workloads of them and `tspg-core`'s batch engine answers them (re-exported
 /// there as `QuerySpec`).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+///
+/// # Canonical form
+///
+/// Queries are normalized at construction so that every layer that compares,
+/// hashes or groups queries — the batch planner, the result cache and the
+/// one-shot pipeline — agrees on one canonical representation per answer:
+///
+/// * **Degenerate** queries (`s == t`) have an empty tspG regardless of the
+///   window, so [`Query::new`] collapses their window to the single
+///   timestamp `τ_b`. Two degenerate queries on the same vertex therefore
+///   compare equal whenever their windows start at the same instant, and
+///   hash to the same cache key.
+/// * **Inverted** windows (`begin > end`) describe no timestamps at all;
+///   they are unrepresentable (`TimeInterval::new` rejects them), and
+///   [`Query::try_new`] offers the non-panicking constructor for raw input.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Query {
     /// Source vertex `s`.
     pub source: VertexId,
@@ -20,9 +35,50 @@ pub struct Query {
 }
 
 impl Query {
-    /// Creates a query.
+    /// Creates a query in canonical form (see the type-level docs).
     pub fn new(source: VertexId, target: VertexId, window: TimeInterval) -> Self {
+        let window = if source == target { TimeInterval::point(window.begin()) } else { window };
         Self { source, target, window }
+    }
+
+    /// Creates a query from raw endpoints, returning `None` for inverted
+    /// (`begin > end`, i.e. empty) windows. The non-panicking face of
+    /// [`Query::new`] for untrusted input such as parsed query files.
+    pub fn try_new(
+        source: VertexId,
+        target: VertexId,
+        begin: Timestamp,
+        end: Timestamp,
+    ) -> Option<Self> {
+        TimeInterval::try_new(begin, end).map(|w| Self::new(source, target, w))
+    }
+
+    /// Returns `true` if the query is degenerate (`s == t`): a temporal
+    /// simple path with at least one edge cannot start and end at the same
+    /// vertex, so the tspG is empty no matter the window or graph.
+    #[inline]
+    pub fn is_degenerate(&self) -> bool {
+        self.source == self.target
+    }
+
+    /// The canonical form of the query.
+    ///
+    /// [`Query::new`] already canonicalizes, so this is the identity for
+    /// queries built through constructors; it exists for values assembled
+    /// from raw fields (the fields are public) so that the planner and the
+    /// cache never key on a non-canonical representation.
+    pub fn canonical(&self) -> Self {
+        Self::new(self.source, self.target, self.window)
+    }
+
+    /// Returns `true` if this query *covers* `other`: same endpoints and a
+    /// window that contains `other`'s window. Every temporal simple path
+    /// satisfying `other` then lies inside this query's tspG, so `other`
+    /// can be answered from this query's result (window sharing).
+    pub fn covers(&self, other: &Query) -> bool {
+        self.source == other.source
+            && self.target == other.target
+            && self.window.contains_interval(&other.window)
     }
 
     /// The span θ of the query interval.
@@ -54,5 +110,46 @@ mod tests {
         let from_tuple: Query = (3, 9, TimeInterval::new(2, 7)).into();
         assert_eq!(q, from_tuple);
         assert_eq!(format!("{q}"), "3 -> 9 within [2, 7]");
+    }
+
+    #[test]
+    fn degenerate_queries_are_canonicalized_at_construction() {
+        let a = Query::new(4, 4, TimeInterval::new(2, 7));
+        let b = Query::new(4, 4, TimeInterval::new(2, 9));
+        assert!(a.is_degenerate());
+        assert_eq!(a, b, "same vertex + same window start must agree");
+        assert_eq!(a.window, TimeInterval::point(2));
+        assert!(!Query::new(4, 5, TimeInterval::new(2, 7)).is_degenerate());
+    }
+
+    #[test]
+    fn try_new_rejects_inverted_windows() {
+        assert!(Query::try_new(0, 1, 5, 2).is_none());
+        let q = Query::try_new(0, 1, 2, 5).unwrap();
+        assert_eq!(q, Query::new(0, 1, TimeInterval::new(2, 5)));
+    }
+
+    #[test]
+    fn canonical_repairs_raw_field_assembly() {
+        // Bypass the constructor deliberately.
+        let raw = Query { source: 3, target: 3, window: TimeInterval::new(1, 9) };
+        let canon = raw.canonical();
+        assert_eq!(canon.window, TimeInterval::point(1));
+        assert_eq!(canon, canon.canonical(), "canonical must be idempotent");
+        let ok = Query::new(1, 2, TimeInterval::new(3, 4));
+        assert_eq!(ok, ok.canonical());
+    }
+
+    #[test]
+    fn covers_requires_same_endpoints_and_containment() {
+        let wide = Query::new(1, 2, TimeInterval::new(0, 10));
+        let narrow = Query::new(1, 2, TimeInterval::new(3, 7));
+        assert!(wide.covers(&narrow));
+        assert!(wide.covers(&wide), "covers is reflexive");
+        assert!(!narrow.covers(&wide));
+        assert!(!wide.covers(&Query::new(2, 1, TimeInterval::new(3, 7))));
+        assert!(!wide.covers(&Query::new(1, 3, TimeInterval::new(3, 7))));
+        let shifted = Query::new(1, 2, TimeInterval::new(5, 12));
+        assert!(!wide.covers(&shifted), "overlap is not containment");
     }
 }

@@ -1,13 +1,15 @@
 //! Cross-crate tests of the batch query engine: the acceptance gate that a
 //! generated 100-query workload answered through `QueryEngine::run_batch`
 //! is byte-for-byte identical to 100 sequential one-shot `generate_tspg`
-//! calls, plus a differential property test against both the one-shot path
-//! and naive enumeration on random graphs (covering `s == t`, empty-result
-//! and single-timestamp-window queries).
+//! calls, plus differential property tests against the one-shot path and
+//! naive enumeration on random graphs (covering `s == t`, empty-result
+//! and single-timestamp-window queries) and against PR 2's sequential path
+//! on batches stuffed with exact duplicates and contained windows — the
+//! shapes the planner collapses and the cache memoizes.
 
 use proptest::collection::vec;
 use proptest::prelude::*;
-use tspg_suite::core::{QueryEngine, QueryScratch, QuerySpec};
+use tspg_suite::core::{CacheConfig, QueryEngine, QueryScratch, QuerySpec};
 use tspg_suite::prelude::*;
 
 /// The acceptance-criterion test: a 100-query generated workload, answered
@@ -37,6 +39,56 @@ fn batch_of_100_workload_queries_matches_one_shot_vug() {
             assert_eq!(b.report.quick_edges, o.report.quick_edges, "threads={threads} #{i}");
             assert_eq!(b.report.tight_edges, o.report.tight_edges, "threads={threads} #{i}");
         }
+    }
+}
+
+/// The serving acceptance gate: on a skewed repeated workload the planned +
+/// cached engine answers the batch with *fewer full pipeline executions
+/// than queries*, the counters prove where every answer came from, and all
+/// answers are byte-identical to PR 2's sequential path.
+#[test]
+fn skewed_workload_is_answered_with_fewer_pipeline_executions_than_queries() {
+    let spec = registry().into_iter().next().expect("registry has datasets");
+    let graph = spec.generate(Scale::tiny(), 0xfeed);
+    let cfg = RepeatedWorkloadConfig::new(200, 25, spec.default_theta);
+    let queries = generate_repeated_workload(&graph, &cfg, 7);
+    assert_eq!(queries.len(), 200);
+
+    // PR 2's sequential path: one raw pipeline execution per query.
+    let sequential_engine = QueryEngine::new(graph.clone()).without_cache();
+    let mut scratch = QueryScratch::new();
+    let sequential: Vec<_> =
+        queries.iter().map(|&q| sequential_engine.run(q, &mut scratch)).collect();
+
+    // Planned + cached serving: two batches, so the second can hit the
+    // cache populated by the first.
+    let engine = QueryEngine::new(graph).with_cache(CacheConfig::with_max_entries(1024));
+    let (first_half, second_half) = queries.split_at(queries.len() / 2);
+    let (mut results, mut stats) = engine.run_batch_with_stats(first_half, 4);
+    let (more, second_stats) = engine.run_batch_with_stats(second_half, 4);
+    results.extend(more);
+    stats.merge(&second_stats);
+
+    assert_eq!(stats.queries, queries.len());
+    assert!(
+        stats.executed_units < queries.len(),
+        "planning + caching must execute fewer full pipelines ({}) than queries ({})",
+        stats.executed_units,
+        queries.len()
+    );
+    assert!(stats.dedup_answered > 0, "a skewed workload must contain duplicates: {stats:?}");
+    assert!(stats.cache_hits > 0, "the second batch must hit the cache: {stats:?}");
+    assert_eq!(
+        stats.executed_units
+            + stats.shared_answered
+            + stats.dedup_answered
+            + stats.cache_hits
+            + stats.degenerate,
+        stats.queries,
+        "every query is answered exactly one way: {stats:?}"
+    );
+    for (i, (a, b)) in sequential.iter().zip(results.iter()).enumerate() {
+        assert_eq!(a.tspg, b.tspg, "query #{i} diverged from the sequential path");
     }
 }
 
@@ -81,6 +133,58 @@ proptest! {
             if q.source == q.target {
                 prop_assert!(sequential[i].tspg.is_empty(), "s == t must be empty");
             }
+        }
+    }
+
+    /// The planner/cache differential invariant: a batch deliberately
+    /// stuffed with exact duplicates and contained windows — the shapes
+    /// dedup, window sharing and the cache all fire on — answered through
+    /// the planned + cached engine (twice, so the second pass is pure
+    /// cache) equals PR 2's sequential per-query path, order preserved.
+    #[test]
+    fn planned_and_cached_batches_match_the_sequential_path(
+        ((graph, base), picks) in (
+            graph_and_batch(),
+            vec((0..64usize, 0..3usize, 0..=2i64, 0..=2i64), 1..24),
+        )
+    ) {
+        // Derive a repetition-heavy batch from the base queries: exact
+        // repeats and narrowed (contained) windows of earlier entries.
+        let mut queries: Vec<QuerySpec> = base.clone();
+        for (pick, kind, shrink_lo, shrink_hi) in picks {
+            let q = base[pick % base.len()];
+            match kind {
+                0 => queries.push(q), // exact duplicate
+                1 => {
+                    // Contained window (clamped shrink keeps it non-empty).
+                    let b = q.window.begin() + shrink_lo.min(q.window.span() - 1);
+                    let e = (q.window.end() - shrink_hi).max(b);
+                    queries.push(QuerySpec::new(q.source, q.target, TimeInterval::new(b, e)));
+                }
+                _ => queries.push(QuerySpec::new(q.target, q.source, q.window)),
+            }
+        }
+
+        // PR 2's sequential path: raw pipeline per query, no plan/cache.
+        let sequential_engine = QueryEngine::new(graph.clone()).without_cache();
+        let mut scratch = QueryScratch::new();
+        let sequential: Vec<_> =
+            queries.iter().map(|&q| sequential_engine.run(q, &mut scratch)).collect();
+
+        // Plenty of headroom per shard so no second-pass query was evicted.
+        let engine = QueryEngine::new(graph).with_cache(CacheConfig::with_max_entries(4096));
+        let (cold, stats) = engine.run_batch_with_stats(&queries, 3);
+        prop_assert_eq!(cold.len(), queries.len());
+        prop_assert_eq!(
+            stats.executed_units + stats.shared_answered + stats.dedup_answered
+                + stats.cache_hits + stats.degenerate,
+            stats.queries
+        );
+        let (warm, warm_stats) = engine.run_batch_with_stats(&queries, 3);
+        prop_assert_eq!(warm_stats.executed_units, 0, "second pass must be pure cache");
+        for (i, q) in queries.iter().enumerate() {
+            prop_assert_eq!(&cold[i].tspg, &sequential[i].tspg, "cold #{} {:?}", i, q);
+            prop_assert_eq!(&warm[i].tspg, &sequential[i].tspg, "warm #{} {:?}", i, q);
         }
     }
 
