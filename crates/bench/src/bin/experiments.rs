@@ -19,6 +19,7 @@
 //!   exp8       transit case study                       (Fig. 13)
 //!   batch      batch query engine throughput            (Exp-9, beyond the paper)
 //!   exp10      serving on skewed repeated traffic       (Exp-10, beyond the paper)
+//!   exp11      envelope sharing on overlapping windows  (Exp-11, beyond the paper)
 //!
 //! OPTIONS
 //!   --scale tiny|small|medium   dataset scale                (default small)
@@ -149,6 +150,7 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         "batch" => print(vec![exp9_batch_throughput(&cfg, threads)]),
         "exp10" | "serve" => print(vec![exp10_serving(&cfg, threads, cache_size)]),
+        "exp11" | "envelopes" => print(vec![exp11_envelopes(&cfg, threads)]),
         "all" => {
             print(vec![table1_datasets(&cfg)]);
             print(vec![exp1_response_time(&cfg)]);
@@ -165,6 +167,7 @@ fn run(args: &[String]) -> Result<(), String> {
             println!("Graphviz DOT of the case-study tspG:\n{dot}");
             print(vec![exp9_batch_throughput(&cfg, threads)]);
             print(vec![exp10_serving(&cfg, threads, cache_size)]);
+            print(vec![exp11_envelopes(&cfg, threads)]);
         }
         other => return Err(format!("unknown subcommand {other:?}")),
     }
@@ -185,6 +188,6 @@ fn print_help() {
                 [--datasets D1,D2,...] [--seed N] [--budget-ms N] [--threads N]\n\
                 [--cache-size N]\n\n\
          subcommands: all (default), table1, exp1, exp2, exp3, exp4, table2,\n\
-                      exp5, exp5-theta, exp6, exp7, exp8, batch, exp10"
+                      exp5, exp5-theta, exp6, exp7, exp8, batch, exp10, exp11"
     );
 }

@@ -70,10 +70,19 @@ impl HarnessConfig {
     }
 
     /// Generates the graph and a workload with an explicit query span θ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload cannot be generated at all (invalid θ, or a
+    /// dataset too sparse at this scale to admit a single reachable query)
+    /// — a misconfigured experiment should fail loudly, not report numbers
+    /// over an empty workload.
     pub fn prepare_with_theta(&self, spec: &DatasetSpec, theta: i64) -> PreparedDataset {
         let graph = spec.generate(self.scale, self.seed ^ hash_id(spec.id));
         let mut generator = WorkloadGenerator::new(&graph, self.seed.wrapping_add(theta as u64));
-        let queries = generator.generate(&WorkloadConfig::new(self.queries_per_dataset, theta));
+        let queries = generator
+            .generate(&WorkloadConfig::new(self.queries_per_dataset, theta))
+            .unwrap_or_else(|e| panic!("workload for {} (theta={theta}): {e}", spec.id));
         PreparedDataset { id: spec.id.to_string(), spec: spec.clone(), theta, graph, queries }
     }
 }

@@ -8,7 +8,7 @@
 //! tspg paths <edge-list> --source S --target T --begin B --end E [--limit N]
 //! tspg workload <edge-list> --queries N --theta T [--seed N] [--output FILE]
 //! tspg batch <edge-list> <query-file> [--threads N] [--cache-size N]
-//!            [--no-cache] [--quiet]
+//!            [--no-cache] [--envelope-factor K] [--no-envelopes] [--quiet]
 //! ```
 //!
 //! The edge-list format is one `src dst timestamp` triple per line (`#` and
@@ -20,7 +20,7 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 use std::time::Instant;
 use tspg_baselines::{run_ep, EpAlgorithm};
-use tspg_core::{generate_tspg, CacheConfig, QueryEngine, QuerySpec};
+use tspg_core::{generate_tspg, CacheConfig, PlannerConfig, QueryEngine, QuerySpec};
 use tspg_datasets::{find, format_queries, generate_workload, parse_queries, Scale};
 use tspg_enum::{enumerate_paths, Budget};
 use tspg_graph::{io, GraphStats, TemporalGraph, TimeInterval, VertexId};
@@ -68,7 +68,7 @@ fn usage() -> String {
        tspg paths <edge-list> --source S --target T --begin B --end E [--limit N]\n\
        tspg workload <edge-list> --queries N --theta T [--seed N] [--output FILE]\n\
        tspg batch <edge-list> <query-file> [--threads N] [--cache-size N]\n\
-                  [--no-cache] [--quiet]\n"
+                  [--no-cache] [--envelope-factor K] [--no-envelopes] [--quiet]\n"
         .to_string()
 }
 
@@ -80,7 +80,7 @@ fn parse_flags(args: &[String]) -> Result<(Vec<String>, HashMap<String, String>)
     while let Some(arg) = iter.next() {
         if let Some(name) = arg.strip_prefix("--") {
             let value = match name {
-                "dot" | "quiet" | "no-cache" => "true".to_string(),
+                "dot" | "quiet" | "no-cache" | "no-envelopes" => "true".to_string(),
                 _ => iter.next().cloned().ok_or_else(|| format!("--{name} expects a value"))?,
             };
             flags.insert(name.to_string(), value);
@@ -236,7 +236,8 @@ fn cmd_workload(args: &[String]) -> Result<String, String> {
         Some(v) => parse_number(v, "seed")?,
         None => 42,
     };
-    let queries = generate_workload(&graph, num_queries, theta, seed);
+    let queries = generate_workload(&graph, num_queries, theta, seed)
+        .map_err(|e| format!("cannot generate workload: {e}"))?;
     if queries.len() < num_queries {
         eprintln!(
             "warning: only {} of {num_queries} queries could be generated \
@@ -276,6 +277,28 @@ fn cmd_batch(args: &[String]) -> Result<String, String> {
         None => None,
     };
     let no_cache = flags.contains_key("no-cache") || cache_entries == Some(0);
+    // Envelope planning: `--no-envelopes` (or a factor of 0) falls back to
+    // containment-only sharing; `--envelope-factor K` tunes the cost guard
+    // (an envelope may span at most K× its widest member window).
+    let envelope_factor: Option<f64> = match flags.get("envelope-factor") {
+        Some(v) => {
+            let factor: f64 = parse_number(v, "envelope factor")?;
+            // Factors in (0, 1) would be silently clamped to 1 by the
+            // planner; reject them so a guard sweep never lies.
+            if !factor.is_finite() || factor < 0.0 || (factor > 0.0 && factor < 1.0) {
+                return Err(format!(
+                    "--envelope-factor must be 0 (disable envelopes) or >= 1, got {v}"
+                ));
+            }
+            Some(factor)
+        }
+        None => None,
+    };
+    let planner = match (flags.contains_key("no-envelopes"), envelope_factor) {
+        (true, _) | (false, Some(0.0)) => PlannerConfig::containment_only(),
+        (false, Some(factor)) => PlannerConfig::with_span_factor(factor),
+        (false, None) => PlannerConfig::default(),
+    };
     let graph = load_graph(graph_path)?;
     let text = std::fs::read_to_string(query_path)
         .map_err(|e| format!("cannot read {query_path}: {e}"))?;
@@ -284,7 +307,7 @@ fn cmd_batch(args: &[String]) -> Result<String, String> {
         return Err(format!("{query_path} contains no queries"));
     }
 
-    let mut engine = QueryEngine::new(graph);
+    let mut engine = QueryEngine::new(graph).with_planner(planner);
     engine = match (no_cache, cache_entries) {
         (true, _) => engine.without_cache(),
         (false, Some(entries)) => engine.with_cache(CacheConfig::with_max_entries(entries)),
@@ -333,13 +356,15 @@ fn cmd_batch(args: &[String]) -> Result<String, String> {
         None => "cache=off".to_string(),
     };
     out.push_str(&format!(
-        "plan: units={} dedup={} shared={} degenerate={} {cache_cell} \
-         (pipeline runs {} of {} queries)\n",
+        "plan: units={} envelopes={} dedup={} shared={} envelope_answered={} degenerate={} \
+         {cache_cell} (pipeline runs {} for {} queries)\n",
         stats.executed_units,
+        stats.envelope_units,
         stats.dedup_answered,
         stats.shared_answered,
+        stats.envelope_answered,
         stats.degenerate,
-        stats.executed_units,
+        stats.pipeline_runs(),
         stats.queries,
     ));
     Ok(out)
@@ -522,10 +547,11 @@ mod tests {
         let out = dispatch(&args(&["batch", g, q, "--quiet"])).unwrap();
         let plan = out.lines().last().unwrap();
         assert!(plan.contains("units=2"), "{plan}");
+        assert!(plan.contains("envelopes=0"), "{plan}");
         assert!(plan.contains("dedup=1"), "{plan}");
         assert!(plan.contains("shared=1"), "{plan}");
         assert!(plan.contains("degenerate=1"), "{plan}");
-        assert!(plan.contains("pipeline runs 2 of 5 queries"), "{plan}");
+        assert!(plan.contains("pipeline runs 2 for 5 queries"), "{plan}");
         assert!(plan.contains("cache_hits=0"), "{plan}");
 
         // --no-cache and --cache-size 0 drop the cache columns.
@@ -545,6 +571,80 @@ mod tests {
 
         std::fs::remove_file(query_path).ok();
         std::fs::remove_file(graph_path).ok();
+    }
+
+    #[test]
+    fn batch_command_envelope_flags_control_the_planner() {
+        let graph_path = fixture_file();
+        let g = graph_path.to_str().unwrap();
+        let query_path = std::env::temp_dir().join(format!(
+            "tspg_cli_envelopes_{}_{:?}.txt",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        // Two overlapping (non-nested) windows on the same (s, t).
+        std::fs::write(&query_path, "0 7 2 5\n0 7 4 7\n").unwrap();
+        let q = query_path.to_str().unwrap();
+
+        // Default planner: one synthesized envelope answers both.
+        let out = dispatch(&args(&["batch", g, q, "--quiet"])).unwrap();
+        let plan = out.lines().last().unwrap();
+        assert!(plan.contains("envelopes=1"), "{plan}");
+        assert!(plan.contains("envelope_answered=2"), "{plan}");
+        assert!(plan.contains("pipeline runs 1 for 2 queries"), "{plan}");
+
+        // --no-envelopes and --envelope-factor 0 fall back to containment.
+        for disable in [
+            &["batch", g, q, "--quiet", "--no-envelopes"][..],
+            &["batch", g, q, "--quiet", "--envelope-factor", "0"][..],
+        ] {
+            let out = dispatch(&args(disable)).unwrap();
+            let plan = out.lines().last().unwrap();
+            assert!(plan.contains("units=2"), "{plan}");
+            assert!(plan.contains("envelopes=0"), "{plan}");
+            assert!(plan.contains("pipeline runs 2 for 2 queries"), "{plan}");
+        }
+
+        // A factor too tight for the merge also keeps the windows apart:
+        // the envelope [2, 7] spans 6 > 1.2 × 4.
+        let out = dispatch(&args(&["batch", g, q, "--quiet", "--envelope-factor", "1.2"])).unwrap();
+        assert!(out.lines().last().unwrap().contains("envelopes=0"), "{out}");
+
+        // Bad factors are rejected, including (0, 1) which the planner
+        // would otherwise silently clamp to 1.
+        for bad in ["lots", "-1", "inf", "0.5"] {
+            let err = dispatch(&args(&["batch", g, q, "--envelope-factor", bad])).unwrap_err();
+            assert!(err.contains("envelope"), "{err}");
+        }
+
+        std::fs::remove_file(query_path).ok();
+        std::fs::remove_file(graph_path).ok();
+    }
+
+    #[test]
+    fn workload_command_surfaces_generator_errors() {
+        let graph_path = fixture_file();
+        let g = graph_path.to_str().unwrap();
+        // theta = 0 used to panic inside the RNG; now it is a clean error.
+        let err = dispatch(&args(&["workload", g, "--queries", "5", "--theta", "0"])).unwrap_err();
+        assert!(err.contains("theta"), "{err}");
+        std::fs::remove_file(graph_path).ok();
+
+        // An edgeless graph cannot anchor any window.
+        let empty_path =
+            std::env::temp_dir().join(format!("tspg_cli_emptyg_{}.txt", std::process::id()));
+        std::fs::write(&empty_path, "# no edges\n").unwrap();
+        let err = dispatch(&args(&[
+            "workload",
+            empty_path.to_str().unwrap(),
+            "--queries",
+            "5",
+            "--theta",
+            "4",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("no edges"), "{err}");
+        std::fs::remove_file(empty_path).ok();
     }
 
     #[test]

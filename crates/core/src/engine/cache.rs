@@ -281,12 +281,24 @@ impl ResultCache {
     }
 }
 
-/// Approximate heap footprint of one cached entry.
+/// Fixed per-entry overhead charged on top of the result's own heap bytes.
+///
+/// An entry does not just own its tspG: it pins a [`Slot`] in the shard's
+/// slot arena (key + value struct + the two intrusive LRU links), a
+/// `key → slot` pair in the shard's hash map, and a share of the map's
+/// bucket/control metadata (hash maps keep a load factor below 1, so each
+/// resident entry costs more than its own pair; 2× is a conservative
+/// stand-in). Charging only `tspg.approx_bytes()` would let a small-result
+/// workload blow far past `max_bytes` in real memory while the accounted
+/// total stays near zero.
+const ENTRY_OVERHEAD: usize = std::mem::size_of::<Slot>()
+    + 2 * std::mem::size_of::<(QuerySpec, usize)>()
+    + std::mem::size_of::<usize>();
+
+/// Approximate heap footprint of one cached entry: the result's own heap
+/// allocation plus [`ENTRY_OVERHEAD`].
 fn entry_bytes(value: &VugResult) -> usize {
-    value.tspg.approx_bytes()
-        + std::mem::size_of::<VugResult>()
-        + std::mem::size_of::<QuerySpec>()
-        + std::mem::size_of::<Slot>()
+    value.tspg.approx_bytes() + ENTRY_OVERHEAD
 }
 
 #[cfg(test)]
@@ -353,6 +365,26 @@ mod tests {
         tiny.insert(key(9), &result(4));
         assert_eq!(tiny.stats().entries, 0);
         assert!(tiny.get(&key(9)).is_none());
+    }
+
+    #[test]
+    fn empty_results_still_pay_per_entry_overhead() {
+        // A zero-edge result owns no tspG heap at all; if the accounting
+        // charged only the value's approximate bytes, max_bytes would never
+        // bite and resident memory (Slot + map entry per insert) would grow
+        // unboundedly. With the per-entry overhead charged, a byte bound
+        // sized for ~8 entries must hold the cache to ~8 entries.
+        let empty = VugResult { tspg: EdgeSet::new(), report: VugReport::default() };
+        assert_eq!(entry_bytes(&empty), ENTRY_OVERHEAD);
+        let budget = 8 * ENTRY_OVERHEAD;
+        let cache = single_shard(usize::MAX >> 1, budget);
+        for i in 0..256 {
+            cache.insert(key(i), &empty);
+        }
+        let stats = cache.stats();
+        assert!(stats.entries <= 8, "byte bound must limit empty entries: {stats:?}");
+        assert!(stats.bytes <= budget, "{stats:?}");
+        assert!(stats.evictions >= 248, "{stats:?}");
     }
 
     #[test]

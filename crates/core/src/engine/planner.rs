@@ -1,8 +1,9 @@
-//! Batch planning: collapse duplicate queries and attach window-contained
-//! queries to the unit whose result already covers them.
+//! Batch planning: collapse duplicate queries, attach window-contained
+//! queries to the unit whose result already covers them, and synthesize
+//! **envelope units** for overlapping (non-nested) windows.
 //!
 //! The planner turns the flat query list of a batch into a [`BatchPlan`] of
-//! executable [`PlanUnit`]s. Two reductions are applied, both purely
+//! executable [`PlanUnit`]s. Three reductions are applied, all purely
 //! syntactic on the canonical query forms (no graph access):
 //!
 //! 1. **Dedup** — queries with identical canonical form share one unit; the
@@ -14,6 +15,21 @@
 //!    unit's tspG (Definition 2); the follower is therefore answered exactly
 //!    by re-running the pipeline *on that tspG* — usually orders of
 //!    magnitude smaller than the input graph — instead of on the full graph.
+//! 3. **Envelope units** — same-`(s, t)` queries whose windows merely
+//!    *overlap* (their union is one interval, no member containing the
+//!    rest) are collapsed into one *synthesized* unit whose window is the
+//!    envelope `[min begin, max end]`. The envelope query was never asked
+//!    by the batch — its `direct` list is empty — but every member window
+//!    is contained in the envelope, so each member becomes a follower and
+//!    is answered exactly from the envelope's tspG by the same Definition-2
+//!    argument as reduction 2. One full-graph pipeline execution (over a
+//!    slightly wider window) replaces one per member.
+//!
+//!    A **cost guard** keeps envelopes from regressing latency: merging is
+//!    abandoned whenever the envelope's span would exceed
+//!    [`PlannerConfig::envelope_span_factor`] times the widest member's
+//!    span, so a pathological chain of barely-overlapping windows is split
+//!    into several bounded envelopes instead of one graph-wide window.
 //!
 //! The planner never changes answers, only who computes them: the executor
 //! runs one full-graph pipeline per unit and one tspG-sized pipeline per
@@ -22,21 +38,82 @@
 
 use crate::engine::QuerySpec;
 use std::collections::HashMap;
-use tspg_graph::VertexId;
+use tspg_graph::{TimeInterval, VertexId};
 
-/// One executable unit of a [`BatchPlan`]: a distinct canonical query, the
-/// original batch positions it answers directly, and the contained-window
-/// queries answered from its result.
+/// Default envelope cost-guard factor: an envelope may span at most this
+/// many times the widest window it absorbs.
+pub const DEFAULT_ENVELOPE_SPAN_FACTOR: f64 = 2.0;
+
+/// Planner policy knobs (the CLI exposes them as `--envelope-factor` /
+/// `--no-envelopes`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PlannerConfig {
+    /// Synthesize envelope units for overlapping windows. When `false` the
+    /// planner shares work on exact containment only (the PR 3 behaviour).
+    pub envelopes: bool,
+    /// Cost guard `k ≥ 1`: an envelope's span may not exceed `k ×` the span
+    /// of the widest window merged into it.
+    pub envelope_span_factor: f64,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        Self { envelopes: true, envelope_span_factor: DEFAULT_ENVELOPE_SPAN_FACTOR }
+    }
+}
+
+impl PlannerConfig {
+    /// Containment-only sharing — no synthesized envelope units.
+    pub fn containment_only() -> Self {
+        Self { envelopes: false, ..Self::default() }
+    }
+
+    /// Envelope sharing with an explicit cost-guard factor, clamped to
+    /// `≥ 1`. At exactly 1 only containment can merge, so the planner
+    /// behaves like [`PlannerConfig::containment_only`]; non-finite input
+    /// (NaN, ±∞) clamps to 1 too — the conservative end, never surprise
+    /// merging from a degenerate computed ratio.
+    pub fn with_span_factor(factor: f64) -> Self {
+        let factor = if factor.is_finite() { factor.max(1.0) } else { 1.0 };
+        Self { envelopes: true, envelope_span_factor: factor }
+    }
+}
+
+/// One executable unit of a [`BatchPlan`]: a canonical query, the original
+/// batch positions it answers directly, and the narrower queries answered
+/// from its result.
 #[derive(Clone, Debug)]
 pub struct PlanUnit {
-    /// The canonical query the executor runs against the full graph.
+    /// The canonical query the executor runs against the full graph. For a
+    /// synthesized envelope unit this query was never asked by the batch.
     pub query: QuerySpec,
     /// Positions in the original batch answered by this unit's result
-    /// verbatim (the unit's own query plus exact duplicates).
+    /// verbatim (the unit's own query plus exact duplicates). Empty iff the
+    /// unit is a synthesized envelope.
     pub direct: Vec<usize>,
     /// Distinct narrower queries answered by re-running the pipeline on
     /// this unit's tspG.
     pub followers: Vec<Follower>,
+}
+
+impl PlanUnit {
+    /// Returns `true` if this unit's query was synthesized by envelope
+    /// planning rather than asked by the batch.
+    pub fn is_envelope(&self) -> bool {
+        self.direct.is_empty()
+    }
+
+    /// The smallest original batch position this unit answers (through its
+    /// direct slots or its followers) — the deterministic ordering key.
+    fn first_index(&self) -> usize {
+        self.direct
+            .first()
+            .copied()
+            .into_iter()
+            .chain(self.followers.iter().map(|f| f.indexes[0]))
+            .min()
+            .expect("a unit answers at least one query")
+    }
 }
 
 /// A distinct query whose window is contained in its unit's window.
@@ -57,6 +134,8 @@ pub struct BatchPlan {
     planned_queries: usize,
     dedup_answered: usize,
     shared_answered: usize,
+    envelope_answered: usize,
+    envelope_units: usize,
 }
 
 impl BatchPlan {
@@ -65,7 +144,8 @@ impl BatchPlan {
         &self.units
     }
 
-    /// Number of full-graph pipeline executions the plan requires.
+    /// Number of full-graph pipeline executions the plan requires
+    /// (including synthesized envelope units).
     pub fn num_units(&self) -> usize {
         self.units.len()
     }
@@ -82,28 +162,47 @@ impl BatchPlan {
         self.dedup_answered
     }
 
-    /// Queries answered from a covering unit's tspG instead of the full
-    /// graph (counting duplicates of followers once each).
+    /// Queries answered from a *batch-asked* covering unit's tspG instead
+    /// of the full graph (counting duplicates of followers once each).
     pub fn shared_answered(&self) -> usize {
         self.shared_answered
     }
+
+    /// Queries answered from a synthesized envelope unit's tspG (counting
+    /// duplicates once each).
+    pub fn envelope_answered(&self) -> usize {
+        self.envelope_answered
+    }
+
+    /// Number of synthesized envelope units in the plan (full-graph runs
+    /// that answer no batch query directly).
+    pub fn envelope_units(&self) -> usize {
+        self.envelope_units
+    }
+}
+
+/// One distinct query being grouped: its slot in the planner's `distinct`
+/// list plus the batch positions it answers.
+struct Member {
+    query: QuerySpec,
+    indexes: Vec<usize>,
 }
 
 /// Builds the execution plan for `pending`: pairs of (original batch
 /// position, canonical query). Degenerate queries and cache hits must
 /// already have been filtered out by the caller.
-pub fn plan(pending: &[(usize, QuerySpec)]) -> BatchPlan {
+pub fn plan(pending: &[(usize, QuerySpec)], config: &PlannerConfig) -> BatchPlan {
     // 1. Dedup: canonical query -> every batch position asking it. The
     //    distinct list preserves first-appearance order so that planning is
     //    deterministic regardless of hash iteration order.
     let mut by_query: HashMap<QuerySpec, usize> = HashMap::with_capacity(pending.len());
-    let mut distinct: Vec<(QuerySpec, Vec<usize>)> = Vec::new();
+    let mut distinct: Vec<Member> = Vec::new();
     for &(index, query) in pending {
         match by_query.get(&query) {
-            Some(&slot) => distinct[slot].1.push(index),
+            Some(&slot) => distinct[slot].indexes.push(index),
             None => {
                 by_query.insert(query, distinct.len());
-                distinct.push((query, vec![index]));
+                distinct.push(Member { query, indexes: vec![index] });
             }
         }
     }
@@ -111,52 +210,149 @@ pub fn plan(pending: &[(usize, QuerySpec)]) -> BatchPlan {
 
     // 2. Group distinct queries by endpoint pair.
     let mut groups: HashMap<(VertexId, VertexId), Vec<usize>> = HashMap::new();
-    for (slot, (query, _)) in distinct.iter().enumerate() {
-        groups.entry((query.source, query.target)).or_default().push(slot);
+    for (slot, member) in distinct.iter().enumerate() {
+        groups.entry((member.query.source, member.query.target)).or_default().push(slot);
     }
 
-    // 3. Containment sweep per group. Sorting windows by (begin asc, end
-    //    desc) means every earlier entry starts no later than the current
-    //    one, so the current window is contained in *some* earlier unit iff
-    //    it is contained in the earlier unit with the maximum end.
-    let mut units: Vec<PlanUnit> = Vec::new();
-    let mut shared_answered = 0usize;
+    // 3. Per-group window sweep. Sorting windows by (begin asc, end desc)
+    //    means every earlier entry starts no later than the current one,
+    //    which makes both containment ("is the current window inside the
+    //    max-end unit seen so far?") and contiguity ("does the current
+    //    window extend the running envelope?") single-pass checks.
+    //
+    //    Containment-only mode is the factor-1 special case of the same
+    //    sweep: with begins ascending, a factor-1 hull may never exceed
+    //    the widest member's span, which forces hull == cluster head —
+    //    pure containment attachment, never a synthesized window.
+    let factor = if config.envelopes { config.envelope_span_factor.max(1.0) } else { 1.0 };
+    let mut plan =
+        BatchPlan { planned_queries: pending.len(), dedup_answered, ..Default::default() };
     for slots in groups.values() {
         let mut ordered: Vec<usize> = slots.clone();
         ordered.sort_by_key(|&slot| {
-            let w = distinct[slot].0.window;
+            let w = distinct[slot].query.window;
             (w.begin(), std::cmp::Reverse(w.end()))
         });
-        // (end of the widest unit so far, its index in `units`)
-        let mut widest: Option<(i64, usize)> = None;
-        for slot in ordered {
-            let (query, ref indexes) = distinct[slot];
-            match widest {
-                Some((max_end, unit)) if max_end >= query.window.end() => {
-                    debug_assert!(units[unit].query.covers(&query));
-                    units[unit].followers.push(Follower { query, indexes: indexes.clone() });
-                    shared_answered += 1;
-                }
-                _ => {
-                    units.push(PlanUnit { query, direct: indexes.clone(), followers: Vec::new() });
-                    if widest.is_none_or(|(max_end, _)| query.window.end() > max_end) {
-                        widest = Some((query.window.end(), units.len() - 1));
-                    }
-                }
-            }
-        }
+        sweep(&distinct, &ordered, factor, &mut plan);
     }
 
     // 4. Deterministic unit order: first batch appearance.
-    units.sort_by_key(|u| u.direct[0]);
+    plan.units.sort_by_key(PlanUnit::first_index);
+    plan
+}
 
-    BatchPlan { units, planned_queries: pending.len(), dedup_answered, shared_answered }
+/// The per-group sweep: greedily grow a cluster of windows whose union is
+/// a single interval, flushing whenever the next window would break
+/// contiguity or blow the cost guard.
+///
+/// Containment is subsumed: a window inside the running envelope never
+/// grows it, so it always joins the cluster, and a cluster whose envelope
+/// equals its first member's window flushes as a plain covering unit (the
+/// PR 3 shape) rather than a synthesized one. At `factor == 1.0` that is
+/// the *only* possible shape — growing the hull past the first member is
+/// never allowed — so the factor-1 sweep reproduces PR 3's
+/// containment-only planning exactly (the tests pin this equivalence).
+fn sweep(distinct: &[Member], ordered: &[usize], factor: f64, plan: &mut BatchPlan) {
+    // The open cluster: member slots, envelope so far, widest member span.
+    let mut cluster: Vec<usize> = Vec::new();
+    let mut envelope: Option<TimeInterval> = None;
+    let mut widest_span: i64 = 0;
+    for &slot in ordered {
+        let window = distinct[slot].query.window;
+        let merged = match envelope {
+            Some(env) if env.union_is_interval(&window) => {
+                let hull = env.hull(&window);
+                let widest = widest_span.max(window.span());
+                if hull == env {
+                    // Contained in the running envelope: always joins.
+                    Some((env, widest))
+                } else {
+                    // Growing the hull is an envelope merge proper: allowed
+                    // only when the merged span stays within `factor ×` the
+                    // widest window absorbed so far (including this one).
+                    // The explicit `factor > 1` check keeps factor-1 mode
+                    // containment-only even when saturated spans (both
+                    // `i64::MAX`) would make the arithmetic guard pass.
+                    (factor > 1.0 && hull.span() as f64 <= factor * widest as f64)
+                        .then_some((hull, widest))
+                }
+            }
+            _ => None,
+        };
+        match merged {
+            Some((hull, widest)) => {
+                envelope = Some(hull);
+                widest_span = widest;
+                cluster.push(slot);
+            }
+            None => {
+                if let Some(env) = envelope {
+                    flush_cluster(distinct, &cluster, env, plan);
+                }
+                cluster.clear();
+                cluster.push(slot);
+                envelope = Some(window);
+                widest_span = window.span();
+            }
+        }
+    }
+    if let Some(env) = envelope {
+        flush_cluster(distinct, &cluster, env, plan);
+    }
+}
+
+/// Turns one flushed cluster into a plan unit.
+///
+/// * One member → a plain unit (nothing to share).
+/// * Envelope equals the first member's window (only the first member can:
+///   the sort order gives it the minimum begin and, among equal begins, the
+///   maximum end) → that member covers the rest; the PR 3 containment
+///   shape, counted as `shared_answered`.
+/// * Otherwise → a synthesized envelope unit: every member is a follower,
+///   counted as `envelope_answered`.
+fn flush_cluster(
+    distinct: &[Member],
+    cluster: &[usize],
+    envelope: TimeInterval,
+    plan: &mut BatchPlan,
+) {
+    let first = &distinct[cluster[0]];
+    if cluster.len() == 1 {
+        plan.units.push(PlanUnit {
+            query: first.query,
+            direct: first.indexes.clone(),
+            followers: Vec::new(),
+        });
+        return;
+    }
+    let followers = |slots: &[usize]| -> Vec<Follower> {
+        slots
+            .iter()
+            .map(|&slot| Follower {
+                query: distinct[slot].query,
+                indexes: distinct[slot].indexes.clone(),
+            })
+            .collect()
+    };
+    if first.query.window == envelope {
+        plan.units.push(PlanUnit {
+            query: first.query,
+            direct: first.indexes.clone(),
+            followers: followers(&cluster[1..]),
+        });
+        plan.shared_answered += cluster.len() - 1;
+    } else {
+        let query = QuerySpec::new(first.query.source, first.query.target, envelope);
+        debug_assert!(cluster.iter().all(|&slot| query.covers(&distinct[slot].query)));
+        plan.units.push(PlanUnit { query, direct: Vec::new(), followers: followers(cluster) });
+        plan.envelope_answered += cluster.len();
+        plan.envelope_units += 1;
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tspg_graph::TimeInterval;
 
     fn q(s: u32, t: u32, b: i64, e: i64) -> QuerySpec {
         QuerySpec::new(s, t, TimeInterval::new(b, e))
@@ -166,9 +362,34 @@ mod tests {
         queries.iter().copied().enumerate().collect()
     }
 
+    fn plan_default(queries: &[QuerySpec]) -> BatchPlan {
+        plan(&indexed(queries), &PlannerConfig::default())
+    }
+
+    fn plan_containment(queries: &[QuerySpec]) -> BatchPlan {
+        plan(&indexed(queries), &PlannerConfig::containment_only())
+    }
+
+    /// Every batch position must be answered by exactly one plan entry.
+    fn assert_covers_batch(plan: &BatchPlan, len: usize) {
+        let mut seen = vec![0usize; len];
+        for unit in plan.units() {
+            for &i in &unit.direct {
+                seen[i] += 1;
+            }
+            for f in &unit.followers {
+                assert!(unit.query.covers(&f.query), "{:?} must cover {:?}", unit.query, f.query);
+                for &i in &f.indexes {
+                    seen[i] += 1;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "each query answered exactly once: {seen:?}");
+    }
+
     #[test]
     fn exact_duplicates_collapse_to_one_unit() {
-        let plan = plan(&indexed(&[q(0, 7, 2, 7), q(1, 5, 1, 4), q(0, 7, 2, 7), q(0, 7, 2, 7)]));
+        let plan = plan_default(&[q(0, 7, 2, 7), q(1, 5, 1, 4), q(0, 7, 2, 7), q(0, 7, 2, 7)]);
         assert_eq!(plan.num_units(), 2);
         assert_eq!(plan.dedup_answered(), 2);
         assert_eq!(plan.shared_answered(), 0);
@@ -180,44 +401,149 @@ mod tests {
 
     #[test]
     fn contained_windows_attach_to_the_covering_unit() {
-        let plan = plan(&indexed(&[q(0, 7, 0, 10), q(0, 7, 2, 7), q(0, 7, 3, 5)]));
-        assert_eq!(plan.num_units(), 1, "both narrower windows share the wide unit");
-        assert_eq!(plan.shared_answered(), 2);
-        let unit = &plan.units()[0];
-        assert_eq!(unit.query, q(0, 7, 0, 10));
-        assert_eq!(unit.followers.len(), 2);
-        for f in &unit.followers {
-            assert!(unit.query.covers(&f.query));
+        for plan in [
+            plan_default(&[q(0, 7, 0, 10), q(0, 7, 2, 7), q(0, 7, 3, 5)]),
+            plan_containment(&[q(0, 7, 0, 10), q(0, 7, 2, 7), q(0, 7, 3, 5)]),
+        ] {
+            assert_eq!(plan.num_units(), 1, "both narrower windows share the wide unit");
+            assert_eq!(plan.shared_answered(), 2);
+            assert_eq!(plan.envelope_units(), 0, "containment must not synthesize");
+            let unit = &plan.units()[0];
+            assert_eq!(unit.query, q(0, 7, 0, 10));
+            assert!(!unit.is_envelope());
+            assert_eq!(unit.followers.len(), 2);
+            assert_covers_batch(&plan, 3);
         }
     }
 
     #[test]
     fn containment_chains_attach_to_the_widest_window() {
         // A ⊇ B ⊇ C: both B and C become followers of A, not of each other.
-        let plan = plan(&indexed(&[q(1, 2, 3, 4), q(1, 2, 1, 8), q(1, 2, 2, 6)]));
+        let plan = plan_default(&[q(1, 2, 3, 4), q(1, 2, 1, 8), q(1, 2, 2, 6)]);
         assert_eq!(plan.num_units(), 1);
         assert_eq!(plan.units()[0].query, q(1, 2, 1, 8));
         assert_eq!(plan.units()[0].followers.len(), 2);
         assert_eq!(plan.units()[0].direct, vec![1]);
+        assert_eq!(plan.envelope_units(), 0);
     }
 
     #[test]
-    fn overlap_without_containment_stays_separate() {
-        let plan = plan(&indexed(&[q(0, 1, 0, 5), q(0, 1, 3, 8)]));
+    fn overlap_without_containment_stays_separate_in_containment_mode() {
+        let plan = plan_containment(&[q(0, 1, 0, 5), q(0, 1, 3, 8)]);
         assert_eq!(plan.num_units(), 2);
         assert_eq!(plan.shared_answered(), 0);
+        assert_eq!(plan.envelope_answered(), 0);
+    }
+
+    #[test]
+    fn overlapping_windows_collapse_into_a_synthesized_envelope() {
+        let plan = plan_default(&[q(0, 1, 0, 5), q(0, 1, 3, 8)]);
+        assert_eq!(plan.num_units(), 1);
+        assert_eq!(plan.envelope_units(), 1);
+        assert_eq!(plan.envelope_answered(), 2);
+        assert_eq!(plan.shared_answered(), 0);
+        let unit = &plan.units()[0];
+        assert!(unit.is_envelope());
+        assert_eq!(unit.query, q(0, 1, 0, 8), "envelope is [min begin, max end]");
+        assert!(unit.direct.is_empty());
+        assert_eq!(unit.followers.len(), 2);
+        assert_covers_batch(&plan, 2);
+    }
+
+    #[test]
+    fn adversarial_overlap_chain_respects_the_cost_guard() {
+        // [0,5], [3,8], [6,12]: the full envelope [0,12] spans 13 ≤ 2×7, so
+        // the default guard (k = 2) merges the whole chain into one
+        // synthesized unit.
+        let queries = [q(0, 1, 0, 5), q(0, 1, 3, 8), q(0, 1, 6, 12)];
+        let merged = plan_default(&queries);
+        assert_eq!(merged.num_units(), 1);
+        assert_eq!(merged.envelope_units(), 1);
+        assert_eq!(merged.envelope_answered(), 3);
+        assert_eq!(merged.units()[0].query, q(0, 1, 0, 12));
+        assert_covers_batch(&merged, 3);
+
+        // A tighter guard splits the chain: [0,8] (span 9 ≤ 1.5×6) absorbs
+        // the first two, but growing to [0,12] (span 13 > 1.5×7) is vetoed,
+        // so [6,12] stays its own plain unit.
+        let tight = plan(&indexed(&queries), &PlannerConfig::with_span_factor(1.5));
+        assert_eq!(tight.num_units(), 2);
+        assert_eq!(tight.envelope_units(), 1);
+        assert_eq!(tight.envelope_answered(), 2);
+        assert_eq!(tight.units()[0].query, q(0, 1, 0, 8));
+        assert_eq!(tight.units()[1].query, q(0, 1, 6, 12));
+        assert!(!tight.units()[1].is_envelope());
+        assert_covers_batch(&tight, 3);
+    }
+
+    #[test]
+    fn span_factor_one_degenerates_to_containment_only() {
+        let queries = [q(0, 1, 0, 5), q(0, 1, 3, 8), q(0, 1, 1, 4)];
+        let strict = plan(&indexed(&queries), &PlannerConfig::with_span_factor(1.0));
+        let containment = plan_containment(&queries);
+        assert_eq!(strict.num_units(), containment.num_units());
+        assert_eq!(strict.envelope_units(), 0);
+        assert_eq!(strict.shared_answered(), containment.shared_answered());
+    }
+
+    #[test]
+    fn degenerate_span_factors_clamp_to_the_conservative_end() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0, -3.0] {
+            assert_eq!(PlannerConfig::with_span_factor(bad).envelope_span_factor, 1.0, "{bad}");
+        }
+        assert_eq!(PlannerConfig::with_span_factor(2.5).envelope_span_factor, 2.5);
+    }
+
+    #[test]
+    fn mixed_nested_overlapping_and_disjoint_groups() {
+        let queries = [
+            q(0, 1, 0, 10),  // covers the next one
+            q(0, 1, 2, 5),   // nested -> follower of [0,10]
+            q(0, 1, 8, 15),  // overlaps [0,10] -> envelope [0,15] (span 16 ≤ 2×11)
+            q(0, 1, 40, 45), // disjoint -> own unit
+            q(2, 3, 0, 10),  // different endpoints -> own unit
+        ];
+        let plan = plan_default(&queries);
+        assert_eq!(plan.num_units(), 3);
+        assert_eq!(plan.envelope_units(), 1);
+        assert_eq!(plan.envelope_answered(), 3);
+        assert_eq!(plan.shared_answered(), 0, "the nested window rides the envelope too");
+        let envelope = &plan.units()[0];
+        assert_eq!(envelope.query, q(0, 1, 0, 15));
+        assert!(envelope.is_envelope());
+        assert_eq!(envelope.followers.len(), 3);
+        assert_covers_batch(&plan, 5);
+    }
+
+    #[test]
+    fn adjacent_windows_merge_into_an_envelope() {
+        // [0,5] and [6,12] are disjoint but adjacent: their union covers
+        // every timestamp of [0,12], so they are mergeable (guard: span 13
+        // ≤ 2 × 7).
+        let plan = plan_default(&[q(0, 1, 0, 5), q(0, 1, 6, 12)]);
+        assert_eq!(plan.num_units(), 1);
+        assert_eq!(plan.units()[0].query, q(0, 1, 0, 12));
+        assert_eq!(plan.envelope_answered(), 2);
+    }
+
+    #[test]
+    fn gapped_windows_never_merge() {
+        let plan = plan_default(&[q(0, 1, 0, 5), q(0, 1, 7, 12)]);
+        assert_eq!(plan.num_units(), 2);
+        assert_eq!(plan.envelope_units(), 0);
     }
 
     #[test]
     fn different_endpoints_never_share() {
-        let plan = plan(&indexed(&[q(0, 1, 0, 10), q(1, 0, 2, 7), q(0, 2, 2, 7)]));
+        let plan = plan_default(&[q(0, 1, 0, 10), q(1, 0, 2, 7), q(0, 2, 2, 7)]);
         assert_eq!(plan.num_units(), 3);
         assert_eq!(plan.shared_answered(), 0);
+        assert_eq!(plan.envelope_answered(), 0);
     }
 
     #[test]
     fn duplicate_followers_count_once_as_shared() {
-        let plan = plan(&indexed(&[q(0, 1, 0, 10), q(0, 1, 2, 5), q(0, 1, 2, 5)]));
+        let plan = plan_default(&[q(0, 1, 0, 10), q(0, 1, 2, 5), q(0, 1, 2, 5)]);
         assert_eq!(plan.num_units(), 1);
         assert_eq!(plan.dedup_answered(), 1);
         assert_eq!(plan.shared_answered(), 1);
@@ -225,25 +551,64 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_envelope_members_count_once_as_envelope_answered() {
+        let plan = plan_default(&[q(0, 1, 0, 5), q(0, 1, 3, 8), q(0, 1, 3, 8)]);
+        assert_eq!(plan.num_units(), 1);
+        assert_eq!(plan.dedup_answered(), 1);
+        assert_eq!(plan.envelope_answered(), 2);
+        assert_covers_batch(&plan, 3);
+    }
+
+    #[test]
     fn equal_begin_prefers_the_wider_window_as_unit() {
-        let plan = plan(&indexed(&[q(0, 1, 2, 5), q(0, 1, 2, 9)]));
+        let plan = plan_default(&[q(0, 1, 2, 5), q(0, 1, 2, 9)]);
         assert_eq!(plan.num_units(), 1);
         assert_eq!(plan.units()[0].query, q(0, 1, 2, 9));
+        assert!(!plan.units()[0].is_envelope(), "[2,9] covers [2,5]: no synthesis needed");
         assert_eq!(plan.units()[0].followers[0].query, q(0, 1, 2, 5));
     }
 
     #[test]
     fn unit_order_follows_first_batch_appearance() {
-        let plan = plan(&indexed(&[q(5, 6, 1, 2), q(3, 4, 1, 2), q(1, 2, 1, 2)]));
+        let plan = plan_default(&[q(5, 6, 1, 2), q(3, 4, 1, 2), q(1, 2, 1, 2)]);
         let firsts: Vec<usize> = plan.units().iter().map(|u| u.direct[0]).collect();
         assert_eq!(firsts, vec![0, 1, 2]);
+        // Envelope units order by their earliest follower.
+        let plan = plan_default(&[q(5, 6, 1, 9), q(3, 4, 1, 2), q(5, 6, 4, 12)]);
+        assert_eq!(plan.num_units(), 2);
+        assert!(plan.units()[0].is_envelope());
+        assert_eq!(plan.units()[0].followers[0].indexes, vec![0]);
+        assert_eq!(plan.units()[1].direct, vec![1]);
+    }
+
+    #[test]
+    fn extreme_windows_do_not_overflow_the_cost_guard() {
+        // Spans saturate; the guard arithmetic must stay finite and the
+        // sweep must not panic.
+        let queries =
+            [q(0, 1, i64::MIN, 0), q(0, 1, -5, i64::MAX), q(0, 1, i64::MAX - 1, i64::MAX)];
+        let plan = plan_default(&queries);
+        assert_covers_batch(&plan, 3);
+        assert!(plan.num_units() >= 1);
+        // Saturated spans satisfy `hull.span <= 1 x widest` even when the
+        // hull grew, so containment-only mode must refuse the hull-growing
+        // merge structurally, never synthesizing an envelope: [MIN, 0] and
+        // [-5, MAX] stay separate units, while [MAX-1, MAX] is genuinely
+        // contained in [-5, MAX] and attaches as a plain follower.
+        let containment = plan_containment(&queries);
+        assert_eq!(containment.envelope_units(), 0);
+        assert_eq!(containment.envelope_answered(), 0);
+        assert_eq!(containment.num_units(), 2);
+        assert_eq!(containment.shared_answered(), 1);
+        assert_covers_batch(&containment, 3);
     }
 
     #[test]
     fn empty_input_yields_an_empty_plan() {
-        let plan = plan(&[]);
+        let plan = plan_default(&[]);
         assert_eq!(plan.num_units(), 0);
         assert_eq!(plan.planned_queries(), 0);
         assert_eq!(plan.dedup_answered(), 0);
+        assert_eq!(plan.envelope_units(), 0);
     }
 }

@@ -61,7 +61,7 @@ pub use eev::{
     escaped_edges_verification, escaped_edges_verification_with, EevOutcome, EevScratch, EevStats,
 };
 pub use engine::cache::{CacheConfig, CacheStats};
-pub use engine::planner::BatchPlan;
+pub use engine::planner::{BatchPlan, PlannerConfig, DEFAULT_ENVELOPE_SPAN_FACTOR};
 pub use engine::{BatchStats, QueryEngine, QueryScratch, QuerySpec};
 pub use polarity::{compute_polarity, PolarityScratch, PolarityTimes};
 pub use quick_ubg::quick_upper_bound_graph;

@@ -32,6 +32,7 @@ pub use generators::{generate_transit, GeneratorModel, GraphGenerator};
 pub use reach::{earliest_arrival, is_reachable, latest_departure};
 pub use registry::{find, registry, DatasetSpec, Scale};
 pub use workload::{
-    format_queries, generate_repeated_workload, generate_workload, generate_workload_batches,
-    parse_queries, Query, RepeatedWorkloadConfig, WorkloadConfig, WorkloadGenerator,
+    format_queries, generate_overlapping_workload, generate_repeated_workload, generate_workload,
+    generate_workload_batches, parse_queries, OverlappingWorkloadConfig, Query,
+    RepeatedWorkloadConfig, WorkloadConfig, WorkloadError, WorkloadGenerator,
 };

@@ -9,25 +9,98 @@
 //! [`generate_workload_batches`] (reproducible multi-batch workloads, one
 //! derived seed per batch), [`generate_repeated_workload`] (Zipf-skewed
 //! serving traffic with exact repeats and narrowed-window refinements, the
-//! workload shape the engine's result cache and window sharing exploit) and
-//! a textual query-file format shared with the CLI `batch` subcommand: one `source target begin end` quadruple per line,
-//! `#`/`%` comments (whole-line or trailing) and CRLF endings accepted —
-//! see [`parse_queries`] / [`format_queries`].
+//! workload shape the engine's result cache and window sharing exploit),
+//! [`generate_overlapping_workload`] (sliding-window chains whose members
+//! overlap without nesting — the shape the planner's envelope units
+//! collapse) and a textual query-file format shared with the CLI `batch`
+//! subcommand: one `source target begin end` quadruple per line, `#`/`%`
+//! comments (whole-line or trailing) and CRLF endings accepted — see
+//! [`parse_queries`] / [`format_queries`].
+//!
+//! All generators validate their configuration and graph up front and
+//! return a [`WorkloadError`] instead of panicking deep inside the RNG.
 
 use crate::reach::earliest_arrival;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::fmt;
 use tspg_graph::io::strip_line_comment;
 use tspg_graph::{TemporalGraph, TimeInterval, VertexId};
 
 pub use tspg_graph::Query;
+
+/// Why a workload could not be generated.
+///
+/// The generators used to panic on these conditions deep inside the RNG
+/// (`random_range(0..0)` on a zero θ or an edgeless graph) or silently
+/// return an empty workload; callers now get a diagnosable error instead,
+/// and the CLI `workload` subcommand surfaces it verbatim.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WorkloadError {
+    /// The requested query span θ is not positive.
+    InvalidTheta(i64),
+    /// The catalog size (`distinct` / `chains`) is zero.
+    InvalidCatalog,
+    /// A probability parameter is outside `[0, 1]`.
+    InvalidProbability {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// The window stride does not keep consecutive chain windows
+    /// overlapping (`1 ≤ stride < θ` required).
+    InvalidStride {
+        /// The rejected stride.
+        stride: i64,
+        /// The configured span θ.
+        theta: i64,
+    },
+    /// The graph has no edges; no window can be anchored.
+    EmptyGraph,
+    /// The per-query sampling budget was exhausted before a single
+    /// reachable `(s, t)` pair was found.
+    NoReachableTargets {
+        /// Queries requested.
+        requested: usize,
+        /// Attempts spent per query before giving up.
+        attempts: usize,
+    },
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidTheta(theta) => {
+                write!(f, "query span theta must be at least 1, got {theta}")
+            }
+            Self::InvalidCatalog => write!(f, "the distinct-query catalog must not be empty"),
+            Self::InvalidProbability { name, value } => {
+                write!(f, "{name} must be a probability in [0, 1], got {value}")
+            }
+            Self::InvalidStride { stride, theta } => write!(
+                f,
+                "stride {stride} does not keep consecutive windows of span {theta} overlapping \
+                 (need 1 <= stride < theta)"
+            ),
+            Self::EmptyGraph => write!(f, "the graph has no edges to anchor query windows on"),
+            Self::NoReachableTargets { requested, attempts } => write!(
+                f,
+                "no temporally reachable (s, t) pair found for any of {requested} queries \
+                 within {attempts} attempts each (graph too sparse for the requested theta?)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
 
 /// Parameters of a workload.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct WorkloadConfig {
     /// Number of queries to produce.
     pub num_queries: usize,
-    /// Query span θ (`τ_e − τ_b + 1`).
+    /// Query span θ (`τ_e − τ_b + 1`); must be ≥ 1.
     pub theta: i64,
     /// Maximum number of sampling attempts per emitted query before giving
     /// up on the whole workload (prevents infinite loops on graphs with no
@@ -38,7 +111,17 @@ pub struct WorkloadConfig {
 impl WorkloadConfig {
     /// A workload of `num_queries` queries with span `theta`.
     pub fn new(num_queries: usize, theta: i64) -> Self {
-        Self { num_queries, theta: theta.max(1), max_attempts_per_query: 200 }
+        Self { num_queries, theta, max_attempts_per_query: 200 }
+    }
+
+    fn validate(&self, graph: &TemporalGraph) -> Result<(), WorkloadError> {
+        if self.theta < 1 {
+            return Err(WorkloadError::InvalidTheta(self.theta));
+        }
+        if self.num_queries > 0 && graph.is_empty() {
+            return Err(WorkloadError::EmptyGraph);
+        }
+        Ok(())
     }
 }
 
@@ -55,13 +138,17 @@ impl<'g> WorkloadGenerator<'g> {
         Self { graph, rng: StdRng::seed_from_u64(seed) }
     }
 
-    /// Generates up to `config.num_queries` queries. Fewer queries are
-    /// returned only if the graph is so sparse that the per-query attempt
-    /// budget is exhausted.
-    pub fn generate(&mut self, config: &WorkloadConfig) -> Vec<Query> {
+    /// Generates up to `config.num_queries` queries.
+    ///
+    /// Errors on an invalid configuration (θ < 1), an edgeless graph, or
+    /// when not even one reachable query could be sampled. Fewer queries
+    /// than requested (but at least one) are returned if the graph is so
+    /// sparse that the per-query attempt budget runs out mid-workload.
+    pub fn generate(&mut self, config: &WorkloadConfig) -> Result<Vec<Query>, WorkloadError> {
+        config.validate(self.graph)?;
         let mut queries = Vec::with_capacity(config.num_queries);
-        if self.graph.is_empty() {
-            return queries;
+        if config.num_queries == 0 {
+            return Ok(queries);
         }
         let edges = self.graph.edges();
         'outer: for _ in 0..config.num_queries {
@@ -70,8 +157,8 @@ impl<'g> WorkloadGenerator<'g> {
                 // never placed in a dead region of the timestamp domain.
                 let anchor = edges[self.rng.random_range(0..edges.len())];
                 let offset = self.rng.random_range(0..config.theta);
-                let begin = anchor.time - offset;
-                let window = TimeInterval::new(begin, begin + config.theta - 1);
+                let begin = anchor.time.saturating_sub(offset);
+                let window = TimeInterval::new(begin, begin.saturating_add(config.theta - 1));
                 let source = anchor.src;
                 if let Some(query) = self.pick_target(source, window) {
                     queries.push(query);
@@ -80,7 +167,13 @@ impl<'g> WorkloadGenerator<'g> {
             }
             break;
         }
-        queries
+        if queries.is_empty() {
+            return Err(WorkloadError::NoReachableTargets {
+                requested: config.num_queries,
+                attempts: config.max_attempts_per_query,
+            });
+        }
+        Ok(queries)
     }
 
     /// Picks a random vertex that `source` temporally reaches within
@@ -134,24 +227,27 @@ impl RepeatedWorkloadConfig {
     /// A workload of `num_queries` drawn from `distinct` base queries with
     /// span `theta`, web-like skew (1.1) and 30% narrowed repeats.
     pub fn new(num_queries: usize, distinct: usize, theta: i64) -> Self {
-        Self { num_queries, distinct: distinct.max(1), theta, skew: 1.1, narrowed: 0.3 }
+        Self { num_queries, distinct, theta, skew: 1.1, narrowed: 0.3 }
     }
 }
 
 /// Generates a skewed repeated-query workload (see
 /// [`RepeatedWorkloadConfig`]), deterministic in `seed`.
 ///
-/// Returns an empty workload only if the graph is too sparse to generate
-/// any base query at all.
+/// Errors on an invalid configuration (θ < 1, empty catalog, `narrowed`
+/// outside `[0, 1]`) or a graph too sparse to generate any base query.
 pub fn generate_repeated_workload(
     graph: &TemporalGraph,
     config: &RepeatedWorkloadConfig,
     seed: u64,
-) -> Vec<Query> {
-    let base = generate_workload(graph, config.distinct, config.theta, seed);
-    if base.is_empty() {
-        return Vec::new();
+) -> Result<Vec<Query>, WorkloadError> {
+    if config.distinct == 0 {
+        return Err(WorkloadError::InvalidCatalog);
     }
+    if !(0.0..=1.0).contains(&config.narrowed) {
+        return Err(WorkloadError::InvalidProbability { name: "narrowed", value: config.narrowed });
+    }
+    let base = generate_workload(graph, config.distinct, config.theta, seed)?;
     // Cumulative Zipf weights over the base ranks; binary search per draw.
     let mut cumulative = Vec::with_capacity(base.len());
     let mut total = 0.0f64;
@@ -175,7 +271,73 @@ pub fn generate_repeated_workload(
             queries.push(q);
         }
     }
-    queries
+    Ok(queries)
+}
+
+/// Parameters of an overlapping-window workload: chains of same-`(s, t)`
+/// queries whose windows slide by less than their span, so consecutive
+/// windows overlap without nesting.
+///
+/// This is the serving-traffic shape the planner's *envelope units* exist
+/// for: a client polling the same endpoint pair over a moving time window
+/// (dashboards, incident timelines) issues exactly such chains, and none
+/// of the windows contains another — containment-only sharing runs every
+/// one of them through the full-graph pipeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OverlappingWorkloadConfig {
+    /// Total number of queries to emit (round-robin across the chains, so
+    /// consecutive batch entries belong to different chains).
+    pub num_queries: usize,
+    /// Number of distinct `(s, t)` chains (reachability-checked bases).
+    pub chains: usize,
+    /// Span θ of every window; must be ≥ 2 so a valid stride exists.
+    pub theta: i64,
+    /// Forward shift between consecutive windows of a chain; `1 ≤ stride <
+    /// theta` keeps neighbors overlapping without nesting.
+    pub stride: i64,
+}
+
+impl OverlappingWorkloadConfig {
+    /// A workload of `num_queries` over `chains` chains with span `theta`
+    /// and the default half-span stride (consecutive windows share half
+    /// their timestamps).
+    pub fn new(num_queries: usize, chains: usize, theta: i64) -> Self {
+        Self { num_queries, chains, theta, stride: (theta / 2).max(1) }
+    }
+}
+
+/// Generates an overlapping-window workload (see
+/// [`OverlappingWorkloadConfig`]), deterministic in `seed`.
+///
+/// Chain `c`'s `j`-th emitted query keeps the chain's `(s, t)` pair and
+/// slides the base window forward by `j × stride`; queries are emitted
+/// round-robin across chains. Only each chain's *base* window is
+/// reachability-checked — slid windows may legitimately have empty answers
+/// (that is what a dashboard polling past the last event sees).
+pub fn generate_overlapping_workload(
+    graph: &TemporalGraph,
+    config: &OverlappingWorkloadConfig,
+    seed: u64,
+) -> Result<Vec<Query>, WorkloadError> {
+    if config.chains == 0 {
+        return Err(WorkloadError::InvalidCatalog);
+    }
+    if config.theta < 1 {
+        return Err(WorkloadError::InvalidTheta(config.theta));
+    }
+    if config.stride < 1 || config.stride >= config.theta {
+        return Err(WorkloadError::InvalidStride { stride: config.stride, theta: config.theta });
+    }
+    let bases = generate_workload(graph, config.chains, config.theta, seed)?;
+    let mut queries = Vec::with_capacity(config.num_queries);
+    for i in 0..config.num_queries {
+        let base = &bases[i % bases.len()];
+        let slide = config.stride.saturating_mul((i / bases.len()) as i64);
+        let begin = base.window.begin().saturating_add(slide);
+        let window = TimeInterval::new(begin, begin.saturating_add(config.theta - 1));
+        queries.push(Query::new(base.source, base.target, window));
+    }
+    Ok(queries)
 }
 
 /// Convenience wrapper: a deterministic workload over `graph`.
@@ -184,7 +346,7 @@ pub fn generate_workload(
     num_queries: usize,
     theta: i64,
     seed: u64,
-) -> Vec<Query> {
+) -> Result<Vec<Query>, WorkloadError> {
     WorkloadGenerator::new(graph, seed).generate(&WorkloadConfig::new(num_queries, theta))
 }
 
@@ -198,7 +360,7 @@ pub fn generate_workload_batches(
     per_batch: usize,
     theta: i64,
     seed: u64,
-) -> Vec<Vec<Query>> {
+) -> Result<Vec<Vec<Query>>, WorkloadError> {
     (0..num_batches)
         .map(|i| {
             // SplitMix64-style derivation keeps nearby batch indexes from
@@ -284,7 +446,7 @@ mod tests {
     #[test]
     fn queries_are_reachable_and_have_requested_span() {
         let g = GraphGenerator::uniform(80, 1200, 40).generate(9);
-        let queries = generate_workload(&g, 50, 8, 3);
+        let queries = generate_workload(&g, 50, 8, 3).unwrap();
         assert_eq!(queries.len(), 50);
         for q in &queries {
             assert_eq!(q.theta(), 8);
@@ -296,23 +458,51 @@ mod tests {
     #[test]
     fn workload_is_deterministic_in_seed() {
         let g = GraphGenerator::uniform(60, 800, 30).generate(2);
-        let a = generate_workload(&g, 20, 6, 11);
-        let b = generate_workload(&g, 20, 6, 11);
-        let c = generate_workload(&g, 20, 6, 12);
+        let a = generate_workload(&g, 20, 6, 11).unwrap();
+        let b = generate_workload(&g, 20, 6, 11).unwrap();
+        let c = generate_workload(&g, 20, 6, 12).unwrap();
         assert_eq!(a, b);
         assert_ne!(a, c);
     }
 
     #[test]
-    fn empty_graph_yields_no_queries() {
+    fn empty_graph_is_a_workload_error() {
         let g = TemporalGraph::empty(5);
-        assert!(generate_workload(&g, 10, 5, 0).is_empty());
+        assert_eq!(generate_workload(&g, 10, 5, 0), Err(WorkloadError::EmptyGraph));
+        // Zero queries over any graph are trivially satisfiable.
+        assert_eq!(generate_workload(&g, 0, 5, 0), Ok(Vec::new()));
+    }
+
+    #[test]
+    fn invalid_theta_is_a_workload_error_not_a_panic() {
+        let g = figure1_graph();
+        // Both of these used to reach `random_range(0..theta)` and panic.
+        assert_eq!(generate_workload(&g, 5, 0, 1), Err(WorkloadError::InvalidTheta(0)));
+        assert_eq!(generate_workload(&g, 5, -3, 1), Err(WorkloadError::InvalidTheta(-3)));
+        let err = generate_workload(&g, 5, 0, 1).unwrap_err();
+        assert!(err.to_string().contains("theta"), "{err}");
+    }
+
+    #[test]
+    fn repeated_workload_validates_its_config() {
+        let g = figure1_graph();
+        let mut cfg = RepeatedWorkloadConfig::new(10, 0, 5);
+        assert_eq!(generate_repeated_workload(&g, &cfg, 0), Err(WorkloadError::InvalidCatalog));
+        cfg.distinct = 4;
+        cfg.narrowed = 1.5;
+        assert!(matches!(
+            generate_repeated_workload(&g, &cfg, 0),
+            Err(WorkloadError::InvalidProbability { name: "narrowed", .. })
+        ));
+        cfg.theta = 0;
+        cfg.narrowed = 0.3;
+        assert_eq!(generate_repeated_workload(&g, &cfg, 0), Err(WorkloadError::InvalidTheta(0)));
     }
 
     #[test]
     fn figure1_graph_small_workload() {
         let g = figure1_graph();
-        let queries = generate_workload(&g, 25, 6, 4);
+        let queries = generate_workload(&g, 25, 6, 4).unwrap();
         assert!(!queries.is_empty());
         for q in &queries {
             assert!(is_reachable(&g, q.source, q.target, q.window));
@@ -327,31 +517,26 @@ mod tests {
             4,
             vec![tspg_graph::TemporalEdge::new(0, 1, 5), tspg_graph::TemporalEdge::new(2, 3, 9)],
         );
-        let queries = generate_workload(&g, 10, 3, 1);
+        let queries = generate_workload(&g, 10, 3, 1).unwrap();
         // Single-hop queries are fine; just ensure no panic and validity.
+        assert!(!queries.is_empty());
         for q in &queries {
             assert!(is_reachable(&g, q.source, q.target, q.window));
         }
     }
 
     #[test]
-    fn workload_config_clamps_theta() {
-        let c = WorkloadConfig::new(5, 0);
-        assert_eq!(c.theta, 1);
-    }
-
-    #[test]
     fn batches_are_reproducible_and_distinct() {
         let g = GraphGenerator::uniform(60, 800, 30).generate(2);
-        let a = generate_workload_batches(&g, 3, 10, 6, 7);
-        let b = generate_workload_batches(&g, 3, 10, 6, 7);
+        let a = generate_workload_batches(&g, 3, 10, 6, 7).unwrap();
+        let b = generate_workload_batches(&g, 3, 10, 6, 7).unwrap();
         assert_eq!(a, b);
         assert_eq!(a.len(), 3);
         assert!(a.iter().all(|batch| batch.len() == 10));
         assert_ne!(a[0], a[1], "different batches must not repeat the same queries");
         // Regenerating only the last batch gives the same queries as the
         // full run (batch seeds are independent of predecessors).
-        let c = generate_workload_batches(&g, 3, 10, 6, 7);
+        let c = generate_workload_batches(&g, 3, 10, 6, 7).unwrap();
         assert_eq!(a[2], c[2]);
     }
 
@@ -359,13 +544,13 @@ mod tests {
     fn repeated_workload_is_deterministic_and_skewed() {
         let g = GraphGenerator::uniform(60, 800, 30).generate(2);
         let cfg = RepeatedWorkloadConfig::new(300, 12, 6);
-        let a = generate_repeated_workload(&g, &cfg, 5);
-        let b = generate_repeated_workload(&g, &cfg, 5);
+        let a = generate_repeated_workload(&g, &cfg, 5).unwrap();
+        let b = generate_repeated_workload(&g, &cfg, 5).unwrap();
         assert_eq!(a, b);
         assert_eq!(a.len(), 300);
-        assert_ne!(a, generate_repeated_workload(&g, &cfg, 6));
+        assert_ne!(a, generate_repeated_workload(&g, &cfg, 6).unwrap());
         // Zipf skew: the hottest base query dominates a uniform share.
-        let base = generate_workload(&g, cfg.distinct, cfg.theta, 5);
+        let base = generate_workload(&g, cfg.distinct, cfg.theta, 5).unwrap();
         let hottest = a.iter().filter(|q| **q == base[0]).count();
         assert!(
             hottest > a.len() / cfg.distinct,
@@ -383,8 +568,8 @@ mod tests {
     fn narrowed_repeats_are_contained_in_their_base_query() {
         let g = GraphGenerator::uniform(60, 800, 30).generate(2);
         let cfg = RepeatedWorkloadConfig { narrowed: 1.0, ..RepeatedWorkloadConfig::new(50, 8, 6) };
-        let base = generate_workload(&g, cfg.distinct, cfg.theta, 9);
-        let queries = generate_repeated_workload(&g, &cfg, 9);
+        let base = generate_workload(&g, cfg.distinct, cfg.theta, 9).unwrap();
+        let queries = generate_repeated_workload(&g, &cfg, 9).unwrap();
         let mut narrowed = 0;
         for q in &queries {
             assert!(base.iter().any(|b| b.covers(q)), "{q:?} must be covered by some base query");
@@ -394,15 +579,73 @@ mod tests {
     }
 
     #[test]
-    fn repeated_workload_on_an_empty_graph_is_empty() {
+    fn repeated_workload_on_an_empty_graph_is_an_error() {
         let cfg = RepeatedWorkloadConfig::new(10, 4, 5);
-        assert!(generate_repeated_workload(&TemporalGraph::empty(4), &cfg, 0).is_empty());
+        assert_eq!(
+            generate_repeated_workload(&TemporalGraph::empty(4), &cfg, 0),
+            Err(WorkloadError::EmptyGraph)
+        );
+    }
+
+    #[test]
+    fn overlapping_workload_slides_windows_without_nesting() {
+        let g = GraphGenerator::uniform(60, 800, 30).generate(2);
+        let cfg = OverlappingWorkloadConfig::new(24, 4, 8);
+        assert_eq!(cfg.stride, 4);
+        let a = generate_overlapping_workload(&g, &cfg, 5).unwrap();
+        assert_eq!(a, generate_overlapping_workload(&g, &cfg, 5).unwrap());
+        assert_eq!(a.len(), 24);
+        let bases = generate_workload(&g, cfg.chains, cfg.theta, 5).unwrap();
+        for (i, q) in a.iter().enumerate() {
+            let base = &bases[i % bases.len()];
+            assert_eq!((q.source, q.target), (base.source, base.target));
+            assert_eq!(q.theta(), cfg.theta);
+            let slide = cfg.stride * (i / bases.len()) as i64;
+            assert_eq!(q.window.begin(), base.window.begin() + slide);
+            if i >= bases.len() {
+                // Consecutive windows of a chain overlap but never nest.
+                let prev = &a[i - bases.len()];
+                assert!(prev.window.overlaps(&q.window), "#{i}: {prev} vs {q}");
+                assert!(!prev.window.contains_interval(&q.window), "#{i}");
+                assert!(!q.window.contains_interval(&prev.window), "#{i}");
+            }
+        }
+    }
+
+    #[test]
+    fn overlapping_workload_validates_its_config() {
+        let g = figure1_graph();
+        let bad_chains =
+            OverlappingWorkloadConfig { chains: 0, ..OverlappingWorkloadConfig::new(8, 2, 6) };
+        assert_eq!(
+            generate_overlapping_workload(&g, &bad_chains, 0),
+            Err(WorkloadError::InvalidCatalog)
+        );
+        let bad_stride =
+            OverlappingWorkloadConfig { stride: 6, ..OverlappingWorkloadConfig::new(8, 2, 6) };
+        assert_eq!(
+            generate_overlapping_workload(&g, &bad_stride, 0),
+            Err(WorkloadError::InvalidStride { stride: 6, theta: 6 })
+        );
+        let bad_theta = OverlappingWorkloadConfig::new(8, 2, 1);
+        assert!(matches!(
+            generate_overlapping_workload(&g, &bad_theta, 0),
+            Err(WorkloadError::InvalidStride { .. })
+        ));
+        assert_eq!(
+            generate_overlapping_workload(
+                &TemporalGraph::empty(3),
+                &OverlappingWorkloadConfig::new(8, 2, 6),
+                0
+            ),
+            Err(WorkloadError::EmptyGraph)
+        );
     }
 
     #[test]
     fn query_file_roundtrip() {
         let g = figure1_graph();
-        let queries = generate_workload(&g, 12, 6, 4);
+        let queries = generate_workload(&g, 12, 6, 4).unwrap();
         let text = format_queries(&queries);
         let parsed = parse_queries(&text).unwrap();
         assert_eq!(parsed, queries);

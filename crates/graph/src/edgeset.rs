@@ -128,6 +128,29 @@ impl EdgeSet {
         TemporalGraph::from_edges(num_vertices, self.edges.clone())
     }
 
+    /// Materialises the edge set as a graph over *only* its induced
+    /// vertices, renumbered `0..n` in ascending original-id order, and
+    /// returns the compact-to-original mapping alongside (original vertex
+    /// `mapping[i]` became compact vertex `i`).
+    ///
+    /// A tspG typically touches a vanishing fraction of the parent graph's
+    /// vertices; algorithms whose working state scales with the vertex
+    /// count (BFS labels, visited bitmaps) run on the compact graph in
+    /// time proportional to the tspG instead of the parent graph. Use
+    /// [`EdgeSet::to_graph`] when original ids must stay addressable.
+    pub fn to_compact_graph(&self) -> (TemporalGraph, Vec<VertexId>) {
+        let mapping = self.vertices();
+        let compact = |v: VertexId| -> VertexId {
+            mapping.binary_search(&v).expect("vertices() contains every endpoint") as VertexId
+        };
+        let edges: Vec<TemporalEdge> = self
+            .edges
+            .iter()
+            .map(|e| TemporalEdge::new(compact(e.src), compact(e.dst), e.time))
+            .collect();
+        (TemporalGraph::from_edges(mapping.len(), edges), mapping)
+    }
+
     /// Rough number of heap bytes used by the stored edges.
     pub fn approx_bytes(&self) -> usize {
         self.edges.len() * std::mem::size_of::<TemporalEdge>()
@@ -232,6 +255,26 @@ mod tests {
         let g = es.to_graph(8);
         assert_eq!(g.num_edges(), es.num_edges());
         assert_eq!(EdgeSet::from_graph(&g), es);
+    }
+
+    #[test]
+    fn compact_graph_renumbers_and_roundtrips() {
+        let es = sample(); // vertices {0, 2, 3, 7}
+        let (g, mapping) = es.to_compact_graph();
+        assert_eq!(mapping, vec![0, 2, 3, 7]);
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), es.num_edges());
+        // Mapping the compact edges back through `mapping` recovers the
+        // original edge set exactly.
+        let restored =
+            EdgeSet::from_edges(g.edges().iter().map(|e| {
+                TemporalEdge::new(mapping[e.src as usize], mapping[e.dst as usize], e.time)
+            }));
+        assert_eq!(restored, es);
+        // Empty sets compact to the empty graph.
+        let (empty, mapping) = EdgeSet::new().to_compact_graph();
+        assert_eq!(empty.num_vertices(), 0);
+        assert!(mapping.is_empty());
     }
 
     #[test]

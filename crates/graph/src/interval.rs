@@ -49,10 +49,16 @@ impl TimeInterval {
         self.end
     }
 
-    /// Span `θ = τ_e − τ_b + 1`.
+    /// Span `θ = τ_e − τ_b + 1`, saturating at `i64::MAX`.
+    ///
+    /// Saturation matters: extreme windows such as `[i64::MIN, i64::MAX]`
+    /// are representable (and easy to synthesize once envelope planning
+    /// merges windows), and `end − begin + 1` on them overflows — a panic
+    /// in debug builds and a *negative* span in release builds, which would
+    /// silently invert every span comparison built on it.
     #[inline]
     pub const fn span(&self) -> i64 {
-        self.end - self.begin + 1
+        self.end.saturating_sub(self.begin).saturating_add(1)
     }
 
     /// Returns `true` if `t ∈ [τ_b, τ_e]`.
@@ -71,6 +77,30 @@ impl TimeInterval {
     #[inline]
     pub fn intersect(&self, other: &TimeInterval) -> Option<TimeInterval> {
         TimeInterval::try_new(self.begin.max(other.begin), self.end.min(other.end))
+    }
+
+    /// Returns `true` if the two intervals share at least one timestamp.
+    #[inline]
+    pub fn overlaps(&self, other: &TimeInterval) -> bool {
+        self.begin.max(other.begin) <= self.end.min(other.end)
+    }
+
+    /// Returns `true` if the *union* of the two intervals is itself a
+    /// single interval over the integer timestamp domain: they overlap or
+    /// are adjacent (`[0, 5]` and `[6, 12]` cover every timestamp of
+    /// `[0, 12]`). This is the mergeability test envelope planning uses.
+    #[inline]
+    pub fn union_is_interval(&self, other: &TimeInterval) -> bool {
+        self.begin.max(other.begin) <= self.end.min(other.end).saturating_add(1)
+    }
+
+    /// The smallest interval containing both: `[min begin, max end]`.
+    ///
+    /// This is the *envelope* (interval hull) of the pair; when
+    /// [`TimeInterval::union_is_interval`] holds it equals the exact union.
+    #[inline]
+    pub fn hull(&self, other: &TimeInterval) -> TimeInterval {
+        TimeInterval { begin: self.begin.min(other.begin), end: self.end.max(other.end) }
     }
 
     /// The interval `[τ_b, upper]`; used for prefix windows such as the
@@ -150,6 +180,37 @@ mod tests {
         assert_eq!(a.intersect(&c), None);
         assert!(a.contains_interval(&TimeInterval::new(3, 9)));
         assert!(!a.contains_interval(&b));
+    }
+
+    #[test]
+    fn span_saturates_on_extreme_windows() {
+        // `end − begin + 1` overflows on all three of these; the saturating
+        // form must return `i64::MAX` instead of panicking or wrapping.
+        assert_eq!(TimeInterval::new(i64::MIN, i64::MAX).span(), i64::MAX);
+        assert_eq!(TimeInterval::new(i64::MIN, 0).span(), i64::MAX);
+        assert_eq!(TimeInterval::new(0, i64::MAX).span(), i64::MAX);
+        assert_eq!(TimeInterval::new(i64::MIN, i64::MIN).span(), 1);
+        assert_eq!(TimeInterval::new(i64::MAX, i64::MAX).span(), 1);
+    }
+
+    #[test]
+    fn overlap_adjacency_and_hull() {
+        let a = TimeInterval::new(0, 5);
+        let b = TimeInterval::new(3, 8);
+        let c = TimeInterval::new(6, 12);
+        let d = TimeInterval::new(8, 9);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c), "adjacent is not overlapping");
+        assert!(a.union_is_interval(&b));
+        assert!(a.union_is_interval(&c), "adjacent unions are contiguous");
+        assert!(c.union_is_interval(&a), "contiguity is symmetric");
+        assert!(!a.union_is_interval(&d), "a gap breaks the union");
+        assert_eq!(a.hull(&c), TimeInterval::new(0, 12));
+        assert_eq!(b.hull(&a), TimeInterval::new(0, 8));
+        assert_eq!(a.hull(&a), a);
+        // Saturating adjacency check at the top of the domain.
+        let top = TimeInterval::new(i64::MAX - 1, i64::MAX);
+        assert!(top.union_is_interval(&TimeInterval::new(i64::MAX, i64::MAX)));
     }
 
     #[test]

@@ -81,7 +81,8 @@ impl Query {
             && self.window.contains_interval(&other.window)
     }
 
-    /// The span θ of the query interval.
+    /// The span θ of the query interval, saturating at `i64::MAX` (see
+    /// [`TimeInterval::span`]).
     pub fn theta(&self) -> i64 {
         self.window.span()
     }
@@ -120,6 +121,13 @@ mod tests {
         assert_eq!(a, b, "same vertex + same window start must agree");
         assert_eq!(a.window, TimeInterval::point(2));
         assert!(!Query::new(4, 5, TimeInterval::new(2, 7)).is_degenerate());
+    }
+
+    #[test]
+    fn theta_saturates_on_extreme_windows() {
+        let q = Query::new(0, 1, TimeInterval::new(i64::MIN, i64::MAX));
+        assert_eq!(q.theta(), i64::MAX);
+        assert_eq!(Query::new(0, 1, TimeInterval::new(i64::MIN, -2)).theta(), i64::MAX);
     }
 
     #[test]

@@ -31,7 +31,7 @@ fn main() {
     // a random location with outgoing contacts, the protected site is a
     // location it can temporally reach.
     let theta = 14;
-    let workload = generate_workload(&graph, 5, theta, 7);
+    let workload = generate_workload(&graph, 5, theta, 7).expect("workload");
     assert!(!workload.is_empty(), "the synthetic network is always temporally connected somewhere");
 
     for (i, q) in workload.iter().enumerate() {

@@ -9,7 +9,7 @@
 
 use proptest::collection::vec;
 use proptest::prelude::*;
-use tspg_suite::core::{CacheConfig, QueryEngine, QueryScratch, QuerySpec};
+use tspg_suite::core::{CacheConfig, PlannerConfig, QueryEngine, QueryScratch, QuerySpec};
 use tspg_suite::prelude::*;
 
 /// The acceptance-criterion test: a 100-query generated workload, answered
@@ -20,7 +20,8 @@ use tspg_suite::prelude::*;
 fn batch_of_100_workload_queries_matches_one_shot_vug() {
     let spec = registry().into_iter().next().expect("registry has datasets");
     let graph = spec.generate(Scale::tiny(), 0xfeed);
-    let queries: Vec<QuerySpec> = generate_workload(&graph, 100, spec.default_theta, 99);
+    let queries: Vec<QuerySpec> =
+        generate_workload(&graph, 100, spec.default_theta, 99).expect("workload");
     assert_eq!(queries.len(), 100, "workload generation must fill the batch");
 
     let one_shot: Vec<_> =
@@ -51,7 +52,7 @@ fn skewed_workload_is_answered_with_fewer_pipeline_executions_than_queries() {
     let spec = registry().into_iter().next().expect("registry has datasets");
     let graph = spec.generate(Scale::tiny(), 0xfeed);
     let cfg = RepeatedWorkloadConfig::new(200, 25, spec.default_theta);
-    let queries = generate_repeated_workload(&graph, &cfg, 7);
+    let queries = generate_repeated_workload(&graph, &cfg, 7).expect("workload");
     assert_eq!(queries.len(), 200);
 
     // PR 2's sequential path: one raw pipeline execution per query.
@@ -71,9 +72,9 @@ fn skewed_workload_is_answered_with_fewer_pipeline_executions_than_queries() {
 
     assert_eq!(stats.queries, queries.len());
     assert!(
-        stats.executed_units < queries.len(),
+        stats.pipeline_runs() < queries.len(),
         "planning + caching must execute fewer full pipelines ({}) than queries ({})",
-        stats.executed_units,
+        stats.pipeline_runs(),
         queries.len()
     );
     assert!(stats.dedup_answered > 0, "a skewed workload must contain duplicates: {stats:?}");
@@ -81,6 +82,7 @@ fn skewed_workload_is_answered_with_fewer_pipeline_executions_than_queries() {
     assert_eq!(
         stats.executed_units
             + stats.shared_answered
+            + stats.envelope_answered
             + stats.dedup_answered
             + stats.cache_hits
             + stats.degenerate,
@@ -176,12 +178,14 @@ proptest! {
         let (cold, stats) = engine.run_batch_with_stats(&queries, 3);
         prop_assert_eq!(cold.len(), queries.len());
         prop_assert_eq!(
-            stats.executed_units + stats.shared_answered + stats.dedup_answered
-                + stats.cache_hits + stats.degenerate,
+            stats.executed_units + stats.shared_answered + stats.envelope_answered
+                + stats.dedup_answered + stats.cache_hits + stats.degenerate,
             stats.queries
         );
         let (warm, warm_stats) = engine.run_batch_with_stats(&queries, 3);
-        prop_assert_eq!(warm_stats.executed_units, 0, "second pass must be pure cache");
+        // pipeline_runs() counts synthesized envelope runs too — a cache
+        // regression that re-synthesizes envelopes must not slip through.
+        prop_assert_eq!(warm_stats.pipeline_runs(), 0, "second pass must be pure cache");
         for (i, q) in queries.iter().enumerate() {
             prop_assert_eq!(&cold[i].tspg, &sequential[i].tspg, "cold #{} {:?}", i, q);
             prop_assert_eq!(&warm[i].tspg, &sequential[i].tspg, "warm #{} {:?}", i, q);
@@ -202,6 +206,132 @@ proptest! {
             prop_assert_eq!(&warm.tspg, &cold.tspg, "query {:?}", q);
             prop_assert_eq!(warm.report.quick_edges, cold.report.quick_edges);
             prop_assert_eq!(warm.report.tight_edges, cold.report.tight_edges);
+        }
+    }
+
+    /// The envelope differential invariant: a batch stuffed with
+    /// overlapping (non-nested) windows, nested refinements and disjoint
+    /// windows of a few endpoint pairs — the shapes envelope planning
+    /// clusters, splits on the cost guard, and leaves alone — answered
+    /// through the planning engine (sequentially and with enough threads
+    /// that followers are stolen) is byte-identical, order preserved, to
+    /// PR 2's sequential per-query path.
+    #[test]
+    fn envelope_planned_batches_match_the_sequential_path(
+        ((graph, _), shapes) in (
+            graph_and_batch(),
+            vec((0..4u32, 0..4u32, 1..=6i64, 1..=4i64, 0..=3i64), 4..28),
+        )
+    ) {
+        // Build overlap chains deterministically from the shape tuples:
+        // (s, t, begin, span extent, slide) — sliding by less than the
+        // extent overlaps the previous window of the same (s, t) without
+        // nesting; slide 0 duplicates it; larger slides disconnect.
+        let mut queries: Vec<QuerySpec> = Vec::new();
+        for &(s, t, begin, extent, slide) in &shapes {
+            let b = begin + slide;
+            queries.push(QuerySpec::new(s, t, TimeInterval::new(b, (b + extent).min(9))));
+        }
+
+        // PR 2's sequential path: raw pipeline per query, no plan/cache.
+        let sequential_engine = QueryEngine::new(graph.clone()).without_cache();
+        let mut scratch = QueryScratch::new();
+        let sequential: Vec<_> =
+            queries.iter().map(|&q| sequential_engine.run(q, &mut scratch)).collect();
+
+        let engine = QueryEngine::new(graph.clone()).without_cache();
+        let aggressive = QueryEngine::new(graph)
+            .without_cache()
+            .with_planner(PlannerConfig::with_span_factor(8.0));
+        for threads in [1usize, 4] {
+            let (results, stats) = engine.run_batch_with_stats(&queries, threads);
+            prop_assert_eq!(
+                stats.executed_units + stats.shared_answered + stats.envelope_answered
+                    + stats.dedup_answered + stats.degenerate,
+                stats.queries
+            );
+            for (i, q) in queries.iter().enumerate() {
+                prop_assert_eq!(
+                    &results[i].tspg, &sequential[i].tspg,
+                    "threads={} #{} {:?}", threads, i, q
+                );
+            }
+            // A near-unbounded cost guard merges far more aggressively;
+            // answers must not move.
+            let (greedy, greedy_stats) = aggressive.run_batch_with_stats(&queries, threads);
+            prop_assert!(greedy_stats.pipeline_runs() <= stats.pipeline_runs());
+            for (i, q) in queries.iter().enumerate() {
+                prop_assert_eq!(
+                    &greedy[i].tspg, &sequential[i].tspg,
+                    "aggressive threads={} #{} {:?}", threads, i, q
+                );
+            }
+        }
+    }
+}
+
+/// The adversarial shapes named in the issue, pinned deterministically: an
+/// overlap chain `[0,5], [3,8], [6,12]` plus mixed nested / overlapping /
+/// disjoint groups, answered with envelope planning across thread counts
+/// that force follower stealing, must equal the sequential path exactly —
+/// and the chain must actually be collapsed by the planner.
+#[test]
+fn envelope_overlap_chains_and_mixed_groups_match_sequential() {
+    let spec = registry().into_iter().next().expect("registry has datasets");
+    let graph = spec.generate(Scale::tiny(), 0xfeed);
+    let stamp = |i: i64| -> i64 {
+        // Park windows in the populated part of the timestamp domain.
+        let ts = graph.timestamps();
+        let lo = *ts.first().expect("tiny datasets have edges");
+        lo + i
+    };
+    let (s, t) = {
+        let q = generate_workload(&graph, 1, 8, 3).expect("workload")[0];
+        (q.source, q.target)
+    };
+    let w = |b: i64, e: i64| TimeInterval::new(stamp(b), stamp(e));
+    let queries = vec![
+        // The issue's adversarial overlap chain.
+        QuerySpec::new(s, t, w(0, 5)),
+        QuerySpec::new(s, t, w(3, 8)),
+        QuerySpec::new(s, t, w(6, 12)),
+        // Nested pair (containment sharing).
+        QuerySpec::new(t, s, w(0, 10)),
+        QuerySpec::new(t, s, w(2, 5)),
+        // Disjoint window on the same pair as the chain.
+        QuerySpec::new(s, t, w(40, 45)),
+        // Exact duplicate and a degenerate query.
+        QuerySpec::new(s, t, w(3, 8)),
+        QuerySpec::new(s, s, w(0, 5)),
+    ];
+
+    let sequential_engine = QueryEngine::new(graph.clone()).without_cache();
+    let mut scratch = QueryScratch::new();
+    let sequential: Vec<_> =
+        queries.iter().map(|&q| sequential_engine.run(q, &mut scratch)).collect();
+
+    let engine = QueryEngine::new(graph).without_cache();
+    for threads in [1usize, 2, 8] {
+        let (results, stats) = engine.run_batch_with_stats(&queries, threads);
+        assert!(stats.envelope_units >= 1, "the chain must be enveloped: {stats:?}");
+        assert_eq!(stats.envelope_answered, 3, "{stats:?}");
+        assert_eq!(stats.shared_answered, 1, "{stats:?}");
+        assert_eq!(stats.dedup_answered, 1, "{stats:?}");
+        assert_eq!(stats.degenerate, 1, "{stats:?}");
+        assert_eq!(
+            stats.executed_units
+                + stats.shared_answered
+                + stats.envelope_answered
+                + stats.dedup_answered
+                + stats.degenerate,
+            stats.queries
+        );
+        for (i, (a, b)) in sequential.iter().zip(results.iter()).enumerate() {
+            assert_eq!(a.tspg, b.tspg, "threads={threads} query #{i} diverged");
+            assert_eq!(
+                a.report.result_vertices, b.report.result_vertices,
+                "threads={threads} query #{i}"
+            );
         }
     }
 }

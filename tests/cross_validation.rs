@@ -150,7 +150,7 @@ fn batch_workloads_on_registry_datasets_are_consistent() {
     // must produce identical results from VUG and from EPtgTSG.
     for spec in registry().into_iter().take(3) {
         let graph = spec.generate(Scale::tiny(), 11);
-        let queries = generate_workload(&graph, 8, spec.default_theta.min(8), 5);
+        let queries = generate_workload(&graph, 8, spec.default_theta.min(8), 5).expect("workload");
         for q in &queries {
             let vug = generate_tspg(&graph, q.source, q.target, q.window);
             let ep = run_ep(

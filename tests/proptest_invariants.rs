@@ -113,7 +113,7 @@ proptest! {
     fn workloads_are_reachable(seed in 0u64..500) {
         let spec = &registry()[(seed % 3) as usize];
         let graph = spec.generate(Scale::tiny(), seed);
-        let queries = generate_workload(&graph, 5, 6, seed);
+        let queries = generate_workload(&graph, 5, 6, seed).expect("workload");
         for q in &queries {
             prop_assert!(tspg_suite::datasets::is_reachable(&graph, q.source, q.target, q.window));
             prop_assert!(!generate_tspg(&graph, q.source, q.target, q.window).tspg.is_empty());

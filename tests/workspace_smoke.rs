@@ -37,6 +37,6 @@ fn prelude_reaches_every_member_crate() {
     let spec = &registry()[0];
     let graph = spec.generate(Scale::tiny(), 42);
     assert!(graph.num_edges() > 0);
-    let queries = generate_workload(&graph, 3, 6, 42);
+    let queries = generate_workload(&graph, 3, 6, 42).expect("workload");
     assert_eq!(queries.len(), 3);
 }
