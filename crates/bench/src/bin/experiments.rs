@@ -20,6 +20,7 @@
 //!   batch      batch query engine throughput            (Exp-9, beyond the paper)
 //!   exp10      serving on skewed repeated traffic       (Exp-10, beyond the paper)
 //!   exp11      envelope sharing on overlapping windows  (Exp-11, beyond the paper)
+//!   exp12      same-source frontier sharing on fan-outs (Exp-12, beyond the paper)
 //!
 //! OPTIONS
 //!   --scale tiny|small|medium   dataset scale                (default small)
@@ -151,6 +152,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "batch" => print(vec![exp9_batch_throughput(&cfg, threads)]),
         "exp10" | "serve" => print(vec![exp10_serving(&cfg, threads, cache_size)]),
         "exp11" | "envelopes" => print(vec![exp11_envelopes(&cfg, threads)]),
+        "exp12" | "frontier" => print(vec![exp12_frontier_sharing(&cfg, threads)]),
         "all" => {
             print(vec![table1_datasets(&cfg)]);
             print(vec![exp1_response_time(&cfg)]);
@@ -168,6 +170,7 @@ fn run(args: &[String]) -> Result<(), String> {
             print(vec![exp9_batch_throughput(&cfg, threads)]);
             print(vec![exp10_serving(&cfg, threads, cache_size)]);
             print(vec![exp11_envelopes(&cfg, threads)]);
+            print(vec![exp12_frontier_sharing(&cfg, threads)]);
         }
         other => return Err(format!("unknown subcommand {other:?}")),
     }
@@ -188,6 +191,6 @@ fn print_help() {
                 [--datasets D1,D2,...] [--seed N] [--budget-ms N] [--threads N]\n\
                 [--cache-size N]\n\n\
          subcommands: all (default), table1, exp1, exp2, exp3, exp4, table2,\n\
-                      exp5, exp5-theta, exp6, exp7, exp8, batch, exp10, exp11"
+                      exp5, exp5-theta, exp6, exp7, exp8, batch, exp10, exp11, exp12"
     );
 }

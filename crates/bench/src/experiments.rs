@@ -12,8 +12,9 @@ use tspg_core::{
     PlannerConfig, QueryEngine, QuerySpec, VugResult,
 };
 use tspg_datasets::{
-    generate_overlapping_workload, generate_repeated_workload, generate_transit, GraphGenerator,
-    OverlappingWorkloadConfig, RepeatedWorkloadConfig,
+    generate_fanout_workload, generate_overlapping_workload, generate_repeated_workload,
+    generate_transit, FanoutWorkloadConfig, GraphGenerator, OverlappingWorkloadConfig,
+    RepeatedWorkloadConfig,
 };
 use tspg_enum::{count_paths, naive_tspg};
 use tspg_graph::{GraphStats, TimeInterval};
@@ -717,6 +718,142 @@ pub fn exp11_envelopes(cfg: &HarnessConfig, threads: usize) -> Table {
     table
 }
 
+/// Exp-12 (beyond the paper): same-source frontier sharing on fan-out
+/// traffic — bursts of queries expanding one hot source against many
+/// targets over one window, the shape *none* of the earlier sharing axes
+/// can collapse (different targets never dedup, contain, or envelope).
+///
+/// Like Exp-11 this runs in the serving regime (its own uniform and
+/// hub-skewed sparse graphs; the registry's dense miniatures are the wrong
+/// shape) and measures three arms, result cache off so the planner's own
+/// saving is what gets measured:
+///
+/// * **PR 2 sequential** — one full pipeline per query: per query a
+///   forward BFS, a backward BFS and an `O(m)` edge scan over the full
+///   graph.
+/// * **envelope-only** — the default planner with frontier sharing
+///   disabled: fan-out bursts plan one unit per target, so this arm runs
+///   the same full-graph passes as the sequential one (plus cross-window
+///   sharing where windows happen to nest).
+/// * **frontier-shared** — the default planner: each burst's units share
+///   one target-agnostic forward pass over the burst's hull window, and
+///   every member answers from a candidate subgraph scanned off the
+///   frontier instead of re-filtering all `m` edges.
+///
+/// The table reports wall-clock for the three arms, the frontier arm's
+/// group counters, and an `identical` column cross-checking that all three
+/// arms produce byte-identical answers in batch order.
+///
+/// # Panics
+///
+/// Panics if any answer diverges between the arms, or if the frontier arm
+/// failed to form any frontier group on a fan-out workload — CI runs this
+/// experiment on every push and greps the identity column.
+pub fn exp12_frontier_sharing(cfg: &HarnessConfig, threads: usize) -> Table {
+    let threads = threads.max(1);
+    let mut table = Table::new(
+        format!("Exp-12 — same-source frontier sharing on fan-out bursts ({threads} threads, cache off)"),
+        &[
+            "graph",
+            "|V|",
+            "|E|",
+            "queries",
+            "bursts",
+            "PR2 seq",
+            "envelope-only",
+            "frontier",
+            "frontier vs envelope-only",
+            "groups",
+            "frontier answered",
+            "identical",
+        ],
+    );
+    // Serving-graph shape, scaled by the harness's edge budget. Narrow
+    // windows over a long timestamp domain keep each query's neighbourhood
+    // a sliver of the edge set — the regime where skipping the full-graph
+    // scan pays.
+    let edges = cfg.scale.min_edges.max(300);
+    let vertices = (edges / 6).max(24);
+    let timestamps = (edges / 10).max(40);
+    let theta = (timestamps as i64 / 16).max(2);
+    let shapes = [
+        ("uniform", GraphGenerator::uniform(vertices, edges, timestamps)),
+        ("hub", GraphGenerator::hub(vertices, edges, timestamps, 1.2)),
+    ];
+    for (name, generator) in shapes {
+        let graph = generator.generate(cfg.seed ^ 0x12);
+        // Bursts of ~8 same-source queries; round-robin emission means the
+        // batch interleaves bursts the way concurrent clients would.
+        let bursts = cfg.queries_per_dataset.max(1);
+        let workload_cfg = FanoutWorkloadConfig::new(bursts * 8, bursts, theta);
+        let queries = match generate_fanout_workload(&graph, &workload_cfg, cfg.seed) {
+            Ok(queries) => queries,
+            Err(e) => {
+                eprintln!("exp12: skipping {name} graph — workload generation failed: {e}");
+                continue;
+            }
+        };
+
+        // PR 2 sequential baseline: raw pipeline per query.
+        let baseline_engine = QueryEngine::new(graph.clone()).without_cache();
+        let mut scratch = tspg_core::QueryScratch::new();
+        let started = Instant::now();
+        let baseline: Vec<VugResult> =
+            queries.iter().map(|&q| baseline_engine.run(q, &mut scratch)).collect();
+        let baseline_time = started.elapsed();
+
+        // Envelope-only planning (PR 4): no frontier groups.
+        let envelope_engine = QueryEngine::new(graph.clone())
+            .without_cache()
+            .with_planner(PlannerConfig::default().without_frontier_sharing());
+        let started = Instant::now();
+        let (envelope, envelope_stats) = envelope_engine.run_batch_with_stats(&queries, threads);
+        let envelope_time = started.elapsed();
+
+        // Frontier-shared planning (this PR).
+        let frontier_engine = QueryEngine::new(graph.clone()).without_cache();
+        let started = Instant::now();
+        let (frontier, stats) = frontier_engine.run_batch_with_stats(&queries, threads);
+        let frontier_time = started.elapsed();
+
+        let identical = baseline
+            .iter()
+            .zip(envelope.iter())
+            .zip(frontier.iter())
+            .all(|((a, b), c)| a.tspg == b.tspg && a.tspg == c.tspg);
+        assert!(identical, "{name}: frontier/envelope answers diverged from sequential");
+        assert!(
+            stats.frontier_groups >= 1,
+            "{name}: a fan-out workload must form frontier groups: {stats:?}"
+        );
+        assert_eq!(
+            stats.pipeline_runs(),
+            envelope_stats.pipeline_runs(),
+            "{name}: frontier sharing cuts inside runs, never changes how many there are"
+        );
+        let speedup = if frontier_time.as_secs_f64() > 0.0 {
+            format!("{:.1}x", envelope_time.as_secs_f64() / frontier_time.as_secs_f64())
+        } else {
+            "-".to_string()
+        };
+        table.push_row(vec![
+            name.to_string(),
+            graph.num_vertices().to_string(),
+            graph.num_edges().to_string(),
+            queries.len().to_string(),
+            bursts.to_string(),
+            format_duration(baseline_time),
+            format_duration(envelope_time),
+            format_duration(frontier_time),
+            speedup,
+            stats.frontier_groups.to_string(),
+            stats.frontier_answered.to_string(),
+            identical.to_string(),
+        ]);
+    }
+    table
+}
+
 /// Exp-8 / Fig. 13: the transit case study. Generates a synthetic bus
 /// schedule (the SFMTA substitute), picks a transfer-rich query, and renders
 /// the resulting tspG both as a table and as Graphviz DOT.
@@ -847,6 +984,15 @@ mod tests {
         // Exp-11 generates its own serving graphs (one uniform, one
         // hub-skewed row) rather than using the dataset registry.
         let t = exp11_envelopes(&smoke_cfg(), 2);
+        assert_eq!(t.num_rows(), 2);
+        let text = t.render();
+        assert!(text.contains("true"), "{text}");
+        assert!(!text.contains("false"), "{text}");
+    }
+
+    #[test]
+    fn exp12_frontier_sharing_forms_groups_and_stays_identical() {
+        let t = exp12_frontier_sharing(&smoke_cfg(), 2);
         assert_eq!(t.num_rows(), 2);
         let text = t.render();
         assert!(text.contains("true"), "{text}");

@@ -8,7 +8,8 @@
 //! tspg paths <edge-list> --source S --target T --begin B --end E [--limit N]
 //! tspg workload <edge-list> --queries N --theta T [--seed N] [--output FILE]
 //! tspg batch <edge-list> <query-file> [--threads N] [--cache-size N]
-//!            [--no-cache] [--envelope-factor K] [--no-envelopes] [--quiet]
+//!            [--no-cache] [--envelope-factor K] [--no-envelopes]
+//!            [--envelope-density-cutoff R] [--no-frontier-sharing] [--quiet]
 //! ```
 //!
 //! The edge-list format is one `src dst timestamp` triple per line (`#` and
@@ -68,7 +69,8 @@ fn usage() -> String {
        tspg paths <edge-list> --source S --target T --begin B --end E [--limit N]\n\
        tspg workload <edge-list> --queries N --theta T [--seed N] [--output FILE]\n\
        tspg batch <edge-list> <query-file> [--threads N] [--cache-size N]\n\
-                  [--no-cache] [--envelope-factor K] [--no-envelopes] [--quiet]\n"
+                  [--no-cache] [--envelope-factor K] [--no-envelopes]\n\
+                  [--envelope-density-cutoff R] [--no-frontier-sharing] [--quiet]\n"
         .to_string()
 }
 
@@ -80,7 +82,9 @@ fn parse_flags(args: &[String]) -> Result<(Vec<String>, HashMap<String, String>)
     while let Some(arg) = iter.next() {
         if let Some(name) = arg.strip_prefix("--") {
             let value = match name {
-                "dot" | "quiet" | "no-cache" | "no-envelopes" => "true".to_string(),
+                "dot" | "quiet" | "no-cache" | "no-envelopes" | "no-frontier-sharing" => {
+                    "true".to_string()
+                }
                 _ => iter.next().cloned().ok_or_else(|| format!("--{name} expects a value"))?,
             };
             flags.insert(name.to_string(), value);
@@ -294,11 +298,26 @@ fn cmd_batch(args: &[String]) -> Result<String, String> {
         }
         None => None,
     };
-    let planner = match (flags.contains_key("no-envelopes"), envelope_factor) {
+    let mut planner = match (flags.contains_key("no-envelopes"), envelope_factor) {
         (true, _) | (false, Some(0.0)) => PlannerConfig::containment_only(),
         (false, Some(factor)) => PlannerConfig::with_span_factor(factor),
         (false, None) => PlannerConfig::default(),
     };
+    // Dense-graph heuristic: envelope synthesis turns off once the engine's
+    // observed tspG/graph vertex ratio exceeds the cutoff. `>= 1` keeps
+    // envelopes on regardless of density (the ratio never exceeds 1).
+    if let Some(v) = flags.get("envelope-density-cutoff") {
+        let cutoff: f64 = parse_number(v, "envelope density cutoff")?;
+        if !cutoff.is_finite() || cutoff < 0.0 {
+            return Err(format!("--envelope-density-cutoff must be a ratio >= 0, got {v}"));
+        }
+        planner = planner.with_density_cutoff(cutoff);
+    }
+    // Same-source frontier sharing is on by default; `--no-frontier-sharing`
+    // makes every plan unit run its own forward polarity pass.
+    if flags.contains_key("no-frontier-sharing") {
+        planner = planner.without_frontier_sharing();
+    }
     let graph = load_graph(graph_path)?;
     let text = std::fs::read_to_string(query_path)
         .map_err(|e| format!("cannot read {query_path}: {e}"))?;
@@ -356,13 +375,16 @@ fn cmd_batch(args: &[String]) -> Result<String, String> {
         None => "cache=off".to_string(),
     };
     out.push_str(&format!(
-        "plan: units={} envelopes={} dedup={} shared={} envelope_answered={} degenerate={} \
-         {cache_cell} (pipeline runs {} for {} queries)\n",
+        "plan: units={} envelopes={} dedup={} shared={} envelope_answered={} \
+         frontier_groups={} frontier_answered={} degenerate={} {cache_cell} \
+         (pipeline runs {} for {} queries)\n",
         stats.executed_units,
         stats.envelope_units,
         stats.dedup_answered,
         stats.shared_answered,
         stats.envelope_answered,
+        stats.frontier_groups,
+        stats.frontier_answered,
         stats.degenerate,
         stats.pipeline_runs(),
         stats.queries,
@@ -615,6 +637,46 @@ mod tests {
         for bad in ["lots", "-1", "inf", "0.5"] {
             let err = dispatch(&args(&["batch", g, q, "--envelope-factor", bad])).unwrap_err();
             assert!(err.contains("envelope"), "{err}");
+        }
+
+        std::fs::remove_file(query_path).ok();
+        std::fs::remove_file(graph_path).ok();
+    }
+
+    #[test]
+    fn batch_command_frontier_flags_control_the_planner() {
+        let graph_path = fixture_file();
+        let g = graph_path.to_str().unwrap();
+        let query_path = std::env::temp_dir().join(format!(
+            "tspg_cli_frontier_{}_{:?}.txt",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        // A same-source fan-out: three targets, identical windows.
+        std::fs::write(&query_path, "0 7 2 7\n0 2 2 7\n0 3 2 7\n").unwrap();
+        let q = query_path.to_str().unwrap();
+
+        // Default planner: one frontier group spanning all three units.
+        let out = dispatch(&args(&["batch", g, q, "--quiet"])).unwrap();
+        let plan = out.lines().last().unwrap();
+        assert!(plan.contains("frontier_groups=1"), "{plan}");
+        assert!(plan.contains("frontier_answered=3"), "{plan}");
+        assert!(plan.contains("pipeline runs 3 for 3 queries"), "{plan}");
+
+        // --no-frontier-sharing zeroes the overlay counters.
+        let out = dispatch(&args(&["batch", g, q, "--quiet", "--no-frontier-sharing"])).unwrap();
+        let plan = out.lines().last().unwrap();
+        assert!(plan.contains("frontier_groups=0"), "{plan}");
+        assert!(plan.contains("frontier_answered=0"), "{plan}");
+
+        // The density cutoff is validated.
+        let out = dispatch(&args(&["batch", g, q, "--quiet", "--envelope-density-cutoff", "0.5"]))
+            .unwrap();
+        assert!(out.lines().last().unwrap().starts_with("plan:"), "{out}");
+        for bad in ["nope", "-0.5", "inf"] {
+            let err =
+                dispatch(&args(&["batch", g, q, "--envelope-density-cutoff", bad])).unwrap_err();
+            assert!(err.contains("density"), "{err}");
         }
 
         std::fs::remove_file(query_path).ok();

@@ -32,8 +32,9 @@
 //! plus followers), so tiny batches stop paying thread start-up for workers
 //! that would find every cursor already exhausted.
 
-use crate::engine::planner::PlanUnit;
+use crate::engine::planner::{BatchPlan, PlanUnit};
 use crate::engine::{generate_tspg_scratch, QueryEngine, QueryScratch, QuerySpec};
+use crate::polarity::SourceFrontier;
 use crate::vug::{VugReport, VugResult};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
@@ -120,21 +121,30 @@ impl SharedTspg {
 
 /// Executes every unit of a plan across at most `threads` workers and
 /// returns the outcomes in unit order.
-pub(crate) fn execute(
-    engine: &QueryEngine,
-    units: &[PlanUnit],
-    threads: usize,
-) -> Vec<UnitOutcome> {
+///
+/// Units the planner put into a same-source frontier group run through
+/// [`QueryEngine::run_with_frontier`]: the first member to execute computes
+/// the group's target-agnostic forward pass over the hull window and
+/// *publishes* it via `OnceLock` (mirroring the tspG publication below);
+/// every other member restricts the published frontier instead of
+/// re-running the forward BFS.
+pub(crate) fn execute(engine: &QueryEngine, plan: &BatchPlan, threads: usize) -> Vec<UnitOutcome> {
+    let units = plan.units();
     let num_followers: usize = units.iter().map(|u| u.followers.len()).sum();
     let threads = threads.clamp(1, (units.len() + num_followers).max(1));
     if threads == 1 {
+        let frontiers = SharedFrontiers::new(engine, plan);
         let mut scratch = engine.checkout_scratch();
-        let outcomes = units.iter().map(|u| execute_unit(engine, u, &mut scratch)).collect();
+        let outcomes = units
+            .iter()
+            .enumerate()
+            .map(|(index, u)| execute_unit(engine, u, frontiers.for_unit(index), &mut scratch))
+            .collect();
         engine.return_scratch(scratch);
         return outcomes;
     }
 
-    let pool = WorkPool::new(units, num_followers);
+    let pool = WorkPool::new(engine, plan, num_followers);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
@@ -159,10 +169,45 @@ pub(crate) fn execute(
     pool.into_outcomes()
 }
 
+/// The once-published forward frontiers of a plan's same-source groups.
+///
+/// Whoever first executes a member unit computes the group's frontier (one
+/// target-agnostic forward BFS over the hull window) inside
+/// `OnceLock::get_or_init`; concurrent members of the same group block on
+/// that initialization — acceptable, because the frontier is a fraction of
+/// the full pipeline run each of them is about to perform, and every other
+/// group's units remain claimable by other workers.
+struct SharedFrontiers<'p> {
+    engine: &'p QueryEngine,
+    plan: &'p BatchPlan,
+    slots: Vec<OnceLock<SourceFrontier>>,
+}
+
+impl<'p> SharedFrontiers<'p> {
+    fn new(engine: &'p QueryEngine, plan: &'p BatchPlan) -> Self {
+        let slots = (0..plan.frontier_groups().len()).map(|_| OnceLock::new()).collect();
+        Self { engine, plan, slots }
+    }
+
+    /// The published frontier of the unit's group (computing and publishing
+    /// it first if this is the group's first executing member), or `None`
+    /// for ungrouped units.
+    fn for_unit(&self, index: usize) -> Option<&SourceFrontier> {
+        let group_index = self.plan.unit_frontier_group_index(index)?;
+        let group = &self.plan.frontier_groups()[group_index];
+        Some(self.slots[group_index].get_or_init(|| {
+            SourceFrontier::compute(self.engine.graph(), group.source, group.window)
+        }))
+    }
+}
+
 /// Shared state of one parallel batch execution: result slots for every
-/// unit and follower, the published tspGs, and the claim cursors.
+/// unit and follower, the published tspGs and frontiers, and the claim
+/// cursors.
 struct WorkPool<'p> {
     units: &'p [PlanUnit],
+    /// The plan's frontier groups, published on first member execution.
+    frontiers: SharedFrontiers<'p>,
     /// Cursor over `units`; claiming past the end means "go steal".
     unit_cursor: AtomicUsize,
     /// `mains[i]` receives unit `i`'s own result.
@@ -198,7 +243,8 @@ impl Drop for PoisonOnPanic<'_> {
 }
 
 impl<'p> WorkPool<'p> {
-    fn new(units: &'p [PlanUnit], num_followers: usize) -> Self {
+    fn new(engine: &'p QueryEngine, plan: &'p BatchPlan, num_followers: usize) -> Self {
+        let units = plan.units();
         let mut follower_offsets = Vec::with_capacity(units.len());
         let mut offset = 0;
         for unit in units {
@@ -210,6 +256,7 @@ impl<'p> WorkPool<'p> {
         }
         Self {
             units,
+            frontiers: SharedFrontiers::new(engine, plan),
             unit_cursor: AtomicUsize::new(0),
             mains: slots(units.len()),
             shared: slots(units.len()),
@@ -227,7 +274,10 @@ impl<'p> WorkPool<'p> {
         loop {
             let index = self.unit_cursor.fetch_add(1, Ordering::Relaxed);
             let Some(unit) = self.units.get(index) else { break };
-            let main = engine.run(unit.query, scratch);
+            let main = match self.frontiers.for_unit(index) {
+                Some(frontier) => engine.run_with_frontier(unit.query, frontier, scratch),
+                None => engine.run(unit.query, scratch),
+            };
             if !unit.followers.is_empty() {
                 // Publish the compacted tspG *before* parking the main
                 // result; from this instant the unit's followers are
@@ -311,8 +361,16 @@ impl<'p> WorkPool<'p> {
 /// so it adds no paths. The follower's set of temporal simple paths — and
 /// hence its tspG — is identical whether computed on the full graph or on
 /// the unit's tspG, and the latter is usually orders of magnitude smaller.
-fn execute_unit(engine: &QueryEngine, unit: &PlanUnit, scratch: &mut QueryScratch) -> UnitOutcome {
-    let main = engine.run(unit.query, scratch);
+fn execute_unit(
+    engine: &QueryEngine,
+    unit: &PlanUnit,
+    frontier: Option<&SourceFrontier>,
+    scratch: &mut QueryScratch,
+) -> UnitOutcome {
+    let main = match frontier {
+        Some(frontier) => engine.run_with_frontier(unit.query, frontier, scratch),
+        None => engine.run(unit.query, scratch),
+    };
     let mut followers = Vec::with_capacity(unit.followers.len());
     if !unit.followers.is_empty() {
         let shared = SharedTspg::new(&unit.query, &main.tspg);

@@ -44,21 +44,45 @@ use tspg_graph::{TimeInterval, VertexId};
 /// many times the widest window it absorbs.
 pub const DEFAULT_ENVELOPE_SPAN_FACTOR: f64 = 2.0;
 
-/// Planner policy knobs (the CLI exposes them as `--envelope-factor` /
-/// `--no-envelopes`).
+/// Default dense-graph cutoff: envelope synthesis is disabled once the
+/// engine's observed average `tspG vertices / graph vertices` ratio
+/// exceeds this value (see [`PlannerConfig::envelope_density_cutoff`]).
+pub const DEFAULT_ENVELOPE_DENSITY_CUTOFF: f64 = 0.8;
+
+/// Planner policy knobs (the CLI exposes them as `--envelope-factor`,
+/// `--no-envelopes`, `--envelope-density-cutoff` and
+/// `--no-frontier-sharing`).
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct PlannerConfig {
     /// Synthesize envelope units for overlapping windows. When `false` the
     /// planner shares work on exact containment only (the PR 3 behaviour).
     pub envelopes: bool,
     /// Cost guard `k ≥ 1`: an envelope's span may not exceed `k ×` the span
-    /// of the widest window merged into it.
+    /// of the widest window merged into it. The same factor guards
+    /// same-source frontier hulls: a unit joins a frontier group only while
+    /// the hull's span stays within `k ×` the unit's own span.
     pub envelope_span_factor: f64,
+    /// Dense-graph heuristic (the ROADMAP item): when the engine's observed
+    /// average `tspG vertices / graph vertices` ratio exceeds this cutoff,
+    /// envelope synthesis is disabled for the batch — on dense graphs a
+    /// follower rerun over the envelope's tspG costs nearly as much as a
+    /// full-graph run, so the synthesized envelope run is pure overhead.
+    /// Containment sharing and dedup are unaffected (they never add runs).
+    pub envelope_density_cutoff: f64,
+    /// Group same-source units (same window begin, span-guarded end hull)
+    /// so the executor computes the target-agnostic forward polarity pass
+    /// once per group instead of once per unit.
+    pub frontier_sharing: bool,
 }
 
 impl Default for PlannerConfig {
     fn default() -> Self {
-        Self { envelopes: true, envelope_span_factor: DEFAULT_ENVELOPE_SPAN_FACTOR }
+        Self {
+            envelopes: true,
+            envelope_span_factor: DEFAULT_ENVELOPE_SPAN_FACTOR,
+            envelope_density_cutoff: DEFAULT_ENVELOPE_DENSITY_CUTOFF,
+            frontier_sharing: true,
+        }
     }
 }
 
@@ -75,7 +99,23 @@ impl PlannerConfig {
     /// merging from a degenerate computed ratio.
     pub fn with_span_factor(factor: f64) -> Self {
         let factor = if factor.is_finite() { factor.max(1.0) } else { 1.0 };
-        Self { envelopes: true, envelope_span_factor: factor }
+        Self { envelope_span_factor: factor, ..Self::default() }
+    }
+
+    /// Disables same-source frontier sharing (every unit runs its own
+    /// forward polarity pass — the PR 4 behaviour).
+    pub fn without_frontier_sharing(mut self) -> Self {
+        self.frontier_sharing = false;
+        self
+    }
+
+    /// Sets the dense-graph cutoff for envelope synthesis. The observed
+    /// ratio lies in `[0, 1]`, so a cutoff `≥ 1` keeps envelopes on
+    /// regardless of density; non-finite or negative input clamps to 0
+    /// (every observation counts as dense — the conservative end).
+    pub fn with_density_cutoff(mut self, cutoff: f64) -> Self {
+        self.envelope_density_cutoff = if cutoff.is_finite() { cutoff.max(0.0) } else { 0.0 };
+        self
     }
 }
 
@@ -126,6 +166,29 @@ pub struct Follower {
     pub indexes: Vec<usize>,
 }
 
+/// A set of plan units sharing one source and one window begin: the
+/// executor computes the target-agnostic forward polarity pass
+/// ([`crate::polarity::SourceFrontier`]) over the group's hull window once
+/// and every member unit restricts it to its own window instead of
+/// re-running it.
+///
+/// Exactness: restriction is the member-end clamp of the hull frontier,
+/// which is exact for same-begin windows (a strict temporal path arriving
+/// at `τ ≤ e` lies entirely in `[b, e]`); the shared pass does not avoid
+/// any member's target, so each member runs the exact pipeline on the
+/// candidate subgraph the clamped frontier defines (`tspG ⊆ G_q ⊆ H ⊆ G` —
+/// the Definition-2 rerun argument), producing the byte-identical tspG.
+#[derive(Clone, Debug)]
+pub struct FrontierGroup {
+    /// The shared source vertex.
+    pub source: VertexId,
+    /// Hull window `[common begin, max member end]` the frontier's forward
+    /// pass runs over.
+    pub window: TimeInterval,
+    /// Indices into [`BatchPlan::units`] of the member units (≥ 2).
+    pub units: Vec<usize>,
+}
+
 /// The execution plan of one batch: units to run, and counters describing
 /// how much work planning saved.
 #[derive(Clone, Debug, Default)]
@@ -136,6 +199,10 @@ pub struct BatchPlan {
     shared_answered: usize,
     envelope_answered: usize,
     envelope_units: usize,
+    frontier_groups: Vec<FrontierGroup>,
+    /// `unit_group[i]` is the frontier group unit `i` belongs to, if any.
+    unit_group: Vec<Option<usize>>,
+    frontier_answered: usize,
 }
 
 impl BatchPlan {
@@ -179,6 +246,30 @@ impl BatchPlan {
     pub fn envelope_units(&self) -> usize {
         self.envelope_units
     }
+
+    /// The same-source frontier groups of the plan (each with ≥ 2 member
+    /// units), in deterministic first-appearance order.
+    pub fn frontier_groups(&self) -> &[FrontierGroup] {
+        &self.frontier_groups
+    }
+
+    /// The frontier group the unit at `index` belongs to, if any.
+    pub fn unit_frontier_group(&self, index: usize) -> Option<&FrontierGroup> {
+        self.unit_frontier_group_index(index).map(|g| &self.frontier_groups[g])
+    }
+
+    /// Index into [`BatchPlan::frontier_groups`] of the unit's group, if
+    /// any (the executor keys its published frontiers by this).
+    pub fn unit_frontier_group_index(&self, index: usize) -> Option<usize> {
+        self.unit_group.get(index).copied().flatten()
+    }
+
+    /// Batch queries answered by (or from the tspG of) a unit that shares a
+    /// forward frontier — an overlay counter (such queries are also counted
+    /// by the regular buckets).
+    pub fn frontier_answered(&self) -> usize {
+        self.frontier_answered
+    }
 }
 
 /// One distinct query being grouped: its slot in the planner's `distinct`
@@ -191,7 +282,18 @@ struct Member {
 /// Builds the execution plan for `pending`: pairs of (original batch
 /// position, canonical query). Degenerate queries and cache hits must
 /// already have been filtered out by the caller.
-pub fn plan(pending: &[(usize, QuerySpec)], config: &PlannerConfig) -> BatchPlan {
+///
+/// `observed_density` is the engine's running average `tspG vertices /
+/// graph vertices` ratio (`None` before the first full-graph run); when it
+/// exceeds [`PlannerConfig::envelope_density_cutoff`] envelope synthesis is
+/// disabled for this batch — the dense-graph heuristic — while containment
+/// sharing, dedup and frontier grouping stay on (they never add pipeline
+/// runs).
+pub fn plan(
+    pending: &[(usize, QuerySpec)],
+    config: &PlannerConfig,
+    observed_density: Option<f64>,
+) -> BatchPlan {
     // 1. Dedup: canonical query -> every batch position asking it. The
     //    distinct list preserves first-appearance order so that planning is
     //    deterministic regardless of hash iteration order.
@@ -224,7 +326,9 @@ pub fn plan(pending: &[(usize, QuerySpec)], config: &PlannerConfig) -> BatchPlan
     //    sweep: with begins ascending, a factor-1 hull may never exceed
     //    the widest member's span, which forces hull == cluster head —
     //    pure containment attachment, never a synthesized window.
-    let factor = if config.envelopes { config.envelope_span_factor.max(1.0) } else { 1.0 };
+    let dense = observed_density.is_some_and(|ratio| ratio > config.envelope_density_cutoff);
+    let factor =
+        if config.envelopes && !dense { config.envelope_span_factor.max(1.0) } else { 1.0 };
     let mut plan =
         BatchPlan { planned_queries: pending.len(), dedup_answered, ..Default::default() };
     for slots in groups.values() {
@@ -238,7 +342,87 @@ pub fn plan(pending: &[(usize, QuerySpec)], config: &PlannerConfig) -> BatchPlan
 
     // 4. Deterministic unit order: first batch appearance.
     plan.units.sort_by_key(PlanUnit::first_index);
+
+    // 5. Frontier grouping: units sharing (source, window begin) — the
+    //    forward polarity pass over the hull `[begin, max end]` is exact
+    //    for every member after the member-end clamp. The span factor
+    //    guards the hull like it guards envelopes: a unit joins only while
+    //    the hull's span stays within `factor ×` its own span, so a narrow
+    //    window never pays for a frontier computed over a vastly wider one.
+    //    (The frontier guard always uses the configured factor: hull width
+    //    is a per-member scan-cost concern, not the envelope-rerun concern
+    //    the density heuristic gates.)
+    if config.frontier_sharing {
+        group_frontiers(config.envelope_span_factor.max(1.0), &mut plan);
+    }
     plan
+}
+
+/// Step 5 of [`plan`]: partition the (sorted) units into same-source
+/// frontier groups. Units bucket by `(source, window begin)` in
+/// first-appearance order; within a bucket, units ordered by descending
+/// window end greedily join the running hull while `hull span ≤ factor ×
+/// unit span`, else a new hull starts. Clusters of one unit share nothing
+/// and are left ungrouped.
+fn group_frontiers(factor: f64, plan: &mut BatchPlan) {
+    let mut by_key: HashMap<(VertexId, i64), usize> = HashMap::new();
+    let mut buckets: Vec<Vec<usize>> = Vec::new();
+    for (index, unit) in plan.units.iter().enumerate() {
+        let key = (unit.query.source, unit.query.window.begin());
+        let slot = *by_key.entry(key).or_insert_with(|| {
+            buckets.push(Vec::new());
+            buckets.len() - 1
+        });
+        buckets[slot].push(index);
+    }
+    plan.unit_group = vec![None; plan.units.len()];
+    for mut bucket in buckets {
+        if bucket.len() < 2 {
+            continue;
+        }
+        // Descending end; ties keep unit order for determinism.
+        bucket
+            .sort_by_key(|&index| (std::cmp::Reverse(plan.units[index].query.window.end()), index));
+        let mut cluster: Vec<usize> = Vec::new();
+        let mut hull = plan.units[bucket[0]].query.window;
+        for &index in &bucket {
+            let window = plan.units[index].query.window;
+            if hull.span() as f64 <= factor * window.span() as f64 {
+                cluster.push(index);
+            } else {
+                flush_frontier_cluster(&mut cluster, hull, plan);
+                hull = window;
+                cluster.push(index);
+            }
+        }
+        flush_frontier_cluster(&mut cluster, hull, plan);
+    }
+}
+
+/// Publishes one frontier cluster as a [`FrontierGroup`] if it has at
+/// least two members, and clears it either way.
+fn flush_frontier_cluster(cluster: &mut Vec<usize>, hull: TimeInterval, plan: &mut BatchPlan) {
+    if cluster.len() >= 2 {
+        let group = plan.frontier_groups.len();
+        let source = plan.units[cluster[0]].query.source;
+        for &index in cluster.iter() {
+            plan.unit_group[index] = Some(group);
+            let unit = &plan.units[index];
+            plan.frontier_answered +=
+                unit.direct.len() + unit.followers.iter().map(|f| f.indexes.len()).sum::<usize>();
+        }
+        debug_assert!(cluster.iter().all(|&i| {
+            let w = plan.units[i].query.window;
+            w.begin() == hull.begin() && hull.contains_interval(&w)
+        }));
+        plan.frontier_groups.push(FrontierGroup {
+            source,
+            window: hull,
+            units: std::mem::take(cluster),
+        });
+    } else {
+        cluster.clear();
+    }
 }
 
 /// The per-group sweep: greedily grow a cluster of windows whose union is
@@ -363,11 +547,11 @@ mod tests {
     }
 
     fn plan_default(queries: &[QuerySpec]) -> BatchPlan {
-        plan(&indexed(queries), &PlannerConfig::default())
+        plan(&indexed(queries), &PlannerConfig::default(), None)
     }
 
     fn plan_containment(queries: &[QuerySpec]) -> BatchPlan {
-        plan(&indexed(queries), &PlannerConfig::containment_only())
+        plan(&indexed(queries), &PlannerConfig::containment_only(), None)
     }
 
     /// Every batch position must be answered by exactly one plan entry.
@@ -466,7 +650,7 @@ mod tests {
         // A tighter guard splits the chain: [0,8] (span 9 ≤ 1.5×6) absorbs
         // the first two, but growing to [0,12] (span 13 > 1.5×7) is vetoed,
         // so [6,12] stays its own plain unit.
-        let tight = plan(&indexed(&queries), &PlannerConfig::with_span_factor(1.5));
+        let tight = plan(&indexed(&queries), &PlannerConfig::with_span_factor(1.5), None);
         assert_eq!(tight.num_units(), 2);
         assert_eq!(tight.envelope_units(), 1);
         assert_eq!(tight.envelope_answered(), 2);
@@ -479,7 +663,7 @@ mod tests {
     #[test]
     fn span_factor_one_degenerates_to_containment_only() {
         let queries = [q(0, 1, 0, 5), q(0, 1, 3, 8), q(0, 1, 1, 4)];
-        let strict = plan(&indexed(&queries), &PlannerConfig::with_span_factor(1.0));
+        let strict = plan(&indexed(&queries), &PlannerConfig::with_span_factor(1.0), None);
         let containment = plan_containment(&queries);
         assert_eq!(strict.num_units(), containment.num_units());
         assert_eq!(strict.envelope_units(), 0);
@@ -609,6 +793,120 @@ mod tests {
         assert_eq!(plan.num_units(), 0);
         assert_eq!(plan.planned_queries(), 0);
         assert_eq!(plan.dedup_answered(), 0);
+        assert_eq!(plan.envelope_units(), 0);
+        assert!(plan.frontier_groups().is_empty());
+        assert_eq!(plan.frontier_answered(), 0);
+    }
+
+    #[test]
+    fn same_source_same_begin_units_form_a_frontier_group() {
+        // Three targets fanned out from source 0, same window: one group.
+        let queries = [q(0, 1, 2, 7), q(0, 2, 2, 7), q(0, 3, 2, 7), q(5, 6, 2, 7)];
+        let plan = plan_default(&queries);
+        assert_eq!(plan.num_units(), 4);
+        assert_eq!(plan.frontier_groups().len(), 1);
+        let group = &plan.frontier_groups()[0];
+        assert_eq!(group.source, 0);
+        assert_eq!(group.window, TimeInterval::new(2, 7));
+        assert_eq!(group.units.len(), 3);
+        assert_eq!(plan.frontier_answered(), 3);
+        for &index in &group.units {
+            assert_eq!(plan.unit_frontier_group_index(index), Some(0));
+            assert!(std::ptr::eq(plan.unit_frontier_group(index).unwrap(), group));
+        }
+        // The (5, 6) unit is ungrouped (a single-unit bucket shares nothing).
+        let lone = (0..plan.num_units())
+            .find(|&i| plan.units()[i].query.source == 5)
+            .expect("unit exists");
+        assert_eq!(plan.unit_frontier_group_index(lone), None);
+    }
+
+    #[test]
+    fn frontier_hulls_absorb_same_begin_ends_within_the_span_factor() {
+        // Same source and begin, ends 9 / 7 / 5: hull [2, 9] (span 8) holds
+        // [2, 7] (span 6, 8 <= 2x6) and [2, 5] (span 4, 8 <= 2x4).
+        let queries = [q(0, 1, 2, 9), q(0, 2, 2, 7), q(0, 3, 2, 5)];
+        let plan = plan_default(&queries);
+        assert_eq!(plan.frontier_groups().len(), 1);
+        assert_eq!(plan.frontier_groups()[0].window, TimeInterval::new(2, 9));
+        assert_eq!(plan.frontier_groups()[0].units.len(), 3);
+
+        // A far narrower member is guarded out: [2, 2] (span 1) would need
+        // the hull span 8 <= 2x1 — it stays ungrouped.
+        let queries = [q(0, 1, 2, 9), q(0, 2, 2, 7), q(0, 3, 2, 2)];
+        let plan = plan_default(&queries);
+        assert_eq!(plan.frontier_groups().len(), 1);
+        assert_eq!(plan.frontier_groups()[0].units.len(), 2);
+        assert_eq!(plan.frontier_answered(), 2);
+    }
+
+    #[test]
+    fn guarded_out_units_cascade_into_their_own_group() {
+        // Ends 9, 8 cluster under hull [0, 9]; ends 2, 1 fail its guard but
+        // form their own hull [0, 2].
+        let queries = [q(0, 1, 0, 9), q(0, 2, 0, 8), q(0, 3, 0, 2), q(0, 4, 0, 1)];
+        let plan = plan_default(&queries);
+        assert_eq!(plan.frontier_groups().len(), 2);
+        assert_eq!(plan.frontier_groups()[0].window, TimeInterval::new(0, 9));
+        assert_eq!(plan.frontier_groups()[1].window, TimeInterval::new(0, 2));
+        assert_eq!(plan.frontier_answered(), 4);
+    }
+
+    #[test]
+    fn different_begins_or_sources_never_share_a_frontier() {
+        let plan = plan_default(&[q(0, 1, 2, 7), q(0, 2, 3, 7), q(1, 2, 2, 7)]);
+        assert!(plan.frontier_groups().is_empty());
+        assert_eq!(plan.frontier_answered(), 0);
+    }
+
+    #[test]
+    fn frontier_sharing_can_be_disabled() {
+        let queries = [q(0, 1, 2, 7), q(0, 2, 2, 7)];
+        let plan = super::plan(
+            &indexed(&queries),
+            &PlannerConfig::default().without_frontier_sharing(),
+            None,
+        );
+        assert!(plan.frontier_groups().is_empty());
+        assert_eq!(plan.num_units(), 2, "unit planning is unchanged");
+    }
+
+    #[test]
+    fn frontier_groups_span_envelope_and_containment_units() {
+        // Same source 0, same begin: an envelope unit ([1,5] ∪ [3,8] → [1,8]
+        // ... begins differ there, so use same-begin shapes) — here a
+        // covering unit with a follower plus a plain unit on another target.
+        let queries = [q(0, 1, 2, 9), q(0, 1, 3, 5), q(0, 2, 2, 8)];
+        let plan = plan_default(&queries);
+        assert_eq!(plan.num_units(), 2);
+        assert_eq!(plan.frontier_groups().len(), 1);
+        // frontier_answered counts the covering unit's direct slot, its
+        // follower, and the other unit's direct slot.
+        assert_eq!(plan.frontier_answered(), 3);
+    }
+
+    #[test]
+    fn dense_observations_disable_envelope_synthesis() {
+        let queries = [q(0, 1, 0, 5), q(0, 1, 3, 8)];
+        let config = PlannerConfig::default();
+        // Below the cutoff (or no observation): the overlap still merges.
+        for observed in [None, Some(0.5), Some(DEFAULT_ENVELOPE_DENSITY_CUTOFF)] {
+            let plan = super::plan(&indexed(&queries), &config, observed);
+            assert_eq!(plan.envelope_units(), 1, "observed={observed:?}");
+        }
+        // Above the cutoff: containment-only behaviour for this batch.
+        let plan = super::plan(&indexed(&queries), &config, Some(0.9));
+        assert_eq!(plan.envelope_units(), 0);
+        assert_eq!(plan.num_units(), 2);
+        // A cutoff >= 1 can never trip (the ratio is bounded by 1).
+        let relaxed = config.with_density_cutoff(1.0);
+        let plan = super::plan(&indexed(&queries), &relaxed, Some(1.0));
+        assert_eq!(plan.envelope_units(), 1);
+        // Degenerate cutoffs clamp to the conservative end (always dense).
+        for bad in [f64::NAN, f64::NEG_INFINITY, -2.0] {
+            assert_eq!(config.with_density_cutoff(bad).envelope_density_cutoff, 0.0, "{bad}");
+        }
+        let plan = super::plan(&indexed(&queries), &config.with_density_cutoff(0.0), Some(0.01));
         assert_eq!(plan.envelope_units(), 0);
     }
 }

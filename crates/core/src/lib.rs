@@ -61,9 +61,12 @@ pub use eev::{
     escaped_edges_verification, escaped_edges_verification_with, EevOutcome, EevScratch, EevStats,
 };
 pub use engine::cache::{CacheConfig, CacheStats};
-pub use engine::planner::{BatchPlan, PlannerConfig, DEFAULT_ENVELOPE_SPAN_FACTOR};
+pub use engine::planner::{
+    BatchPlan, FrontierGroup, PlannerConfig, DEFAULT_ENVELOPE_DENSITY_CUTOFF,
+    DEFAULT_ENVELOPE_SPAN_FACTOR,
+};
 pub use engine::{BatchStats, QueryEngine, QueryScratch, QuerySpec};
-pub use polarity::{compute_polarity, PolarityScratch, PolarityTimes};
+pub use polarity::{compute_polarity, PolarityScratch, PolarityTimes, SourceFrontier};
 pub use quick_ubg::quick_upper_bound_graph;
 pub use tcv::{TcvTables, TcvValue};
 pub use tight_ubg::tight_upper_bound_graph;

@@ -91,30 +91,41 @@ pub fn compute_polarity_into(
     scratch: &mut PolarityScratch,
 ) {
     let n = graph.num_vertices();
-    let arrival = &mut times.arrival;
-    let departure = &mut times.departure;
-    arrival.clear();
-    arrival.resize(n, None);
-    departure.clear();
-    departure.resize(n, None);
+    times.arrival.clear();
+    times.arrival.resize(n, None);
+    times.departure.clear();
+    times.departure.resize(n, None);
     if (s as usize) >= n || (t as usize) >= n {
         return;
     }
+    forward_pass(graph, s, Some(t), window, &mut times.arrival, scratch);
+    backward_pass(graph, s, t, window, &mut times.departure, scratch);
+}
+
+/// Forward half of Algorithm 3: earliest arrival from `s` within `window`,
+/// never relaxing into `avoid` (the query target, when there is one). The
+/// caller has cleared and sized `arrival`.
+fn forward_pass(
+    graph: &TemporalGraph,
+    s: VertexId,
+    avoid: Option<VertexId>,
+    window: TimeInterval,
+    arrival: &mut [Option<Timestamp>],
+    scratch: &mut PolarityScratch,
+) {
     let queue = &mut scratch.queue;
     let queued = &mut scratch.queued;
-
-    // Forward pass: earliest arrival from s, never relaxing into t.
     arrival[s as usize] = Some(window.begin() - 1);
     queue.clear();
     queue.push_back(s);
     queued.clear();
-    queued.resize(n, false);
+    queued.resize(arrival.len(), false);
     queued[s as usize] = true;
     while let Some(u) = queue.pop_front() {
         queued[u as usize] = false;
         let reach = arrival[u as usize].expect("queued vertices carry labels");
         for entry in graph.out_neighbors_in(u, window) {
-            if entry.neighbor == t || entry.time <= reach {
+            if Some(entry.neighbor) == avoid || entry.time <= reach {
                 continue;
             }
             let v = entry.neighbor as usize;
@@ -130,13 +141,26 @@ pub fn compute_polarity_into(
             }
         }
     }
+}
 
-    // Backward pass: latest departure towards t, never relaxing into s.
+/// Backward half of Algorithm 3: latest departure towards `t` within
+/// `window`, never relaxing into `s`. The caller has cleared and sized
+/// `departure`.
+fn backward_pass(
+    graph: &TemporalGraph,
+    s: VertexId,
+    t: VertexId,
+    window: TimeInterval,
+    departure: &mut [Option<Timestamp>],
+    scratch: &mut PolarityScratch,
+) {
+    let queue = &mut scratch.queue;
+    let queued = &mut scratch.queued;
     departure[t as usize] = Some(window.end() + 1);
     queue.clear();
     queue.push_back(t);
     queued.clear();
-    queued.resize(n, false);
+    queued.resize(departure.len(), false);
     queued[t as usize] = true;
     while let Some(u) = queue.pop_front() {
         queued[u as usize] = false;
@@ -155,6 +179,138 @@ pub fn compute_polarity_into(
             }
         }
     }
+}
+
+/// The **target-agnostic** forward half of the polarity computation,
+/// computed once per source over a group's *hull* window and shared across
+/// every query of that source.
+///
+/// The forward pass of Algorithm 3 depends on the target only through the
+/// "never relax into `t`" tightening. A frontier drops that tightening:
+/// `A₀(u)` is the plain earliest arrival from `s` within the hull window,
+/// so `A₀(u) ≤ A(u)` for every query target. Substituting `A₀` for `A`
+/// admits a *superset* `H` of the edges Lemma 1 admits — a valid candidate
+/// subgraph (`tspG ⊆ G_q ⊆ H ⊆ G`), but **not** a graph the rest of the
+/// pipeline may consume as `G_q`: the EEV rule confirmations (Lemmas 2 and
+/// 10) are proven under `G_q`'s avoid-`t`/avoid-`s` polarity invariants and
+/// can falsely confirm cycle edges of `H` (e.g. an `H`-edge into `t` whose
+/// only "paths" revisit `t`). Consumers therefore treat `H` as an *input
+/// graph* and re-run the exact pipeline on it — `tspG(H) = tspG(G)` by the
+/// Definition-2 containment argument, and `H` is `G_q`-sized, so the rerun
+/// replaces the full-graph forward BFS and `O(m)` edge scan with work
+/// proportional to the query's own neighbourhood.
+///
+/// **Window restriction is exact for same-begin windows.** A strict
+/// temporal path arriving at time `τ` uses only edge times in
+/// `[begin, τ]`, so for any member window `[begin, e]` with the frontier's
+/// begin, clamping (`A₀(u)` kept iff `A₀(u) ≤ e`) yields precisely the
+/// arrivals of a fresh target-agnostic pass over `[begin, e]`. This is why
+/// the planner groups units by `(source, window begin)` and hulls their
+/// ends.
+#[derive(Clone, Debug)]
+pub struct SourceFrontier {
+    source: VertexId,
+    window: TimeInterval,
+    /// `A₀(u)` per vertex over the hull window; `None` = unreachable.
+    arrival: Vec<Option<Timestamp>>,
+    /// Vertices with a label (including `s` itself), ascending — the scan
+    /// list of the frontier-restricted `G_q` construction.
+    reachable: Vec<VertexId>,
+}
+
+impl SourceFrontier {
+    /// Runs the target-agnostic forward pass from `source` over `window`.
+    ///
+    /// An out-of-range source yields an empty frontier (no vertex labelled),
+    /// mirroring [`compute_polarity`]'s all-`None` tables.
+    pub fn compute(graph: &TemporalGraph, source: VertexId, window: TimeInterval) -> Self {
+        let n = graph.num_vertices();
+        let mut arrival = vec![None; n];
+        if (source as usize) < n {
+            forward_pass(
+                graph,
+                source,
+                None,
+                window,
+                &mut arrival,
+                &mut PolarityScratch::default(),
+            );
+        }
+        let reachable =
+            arrival.iter().enumerate().filter_map(|(v, a)| a.map(|_| v as VertexId)).collect();
+        Self { source, window, arrival, reachable }
+    }
+
+    /// The source vertex the frontier was computed from.
+    pub fn source(&self) -> VertexId {
+        self.source
+    }
+
+    /// The hull window the forward pass ran over.
+    pub fn window(&self) -> TimeInterval {
+        self.window
+    }
+
+    /// Vertices carrying an arrival label, ascending.
+    pub fn reachable(&self) -> &[VertexId] {
+        &self.reachable
+    }
+
+    /// `A₀(u)` over the hull window.
+    #[inline]
+    pub fn arrival(&self, u: VertexId) -> Option<Timestamp> {
+        self.arrival.get(u as usize).copied().flatten()
+    }
+
+    /// Returns `true` if this frontier's forward pass can be restricted to
+    /// `window` exactly: same begin, end within the hull.
+    pub fn covers(&self, source: VertexId, window: TimeInterval) -> bool {
+        self.source == source
+            && self.window.begin() == window.begin()
+            && self.window.contains_interval(&window)
+    }
+}
+
+/// Frontier-sharing variant of [`compute_polarity_into`]: the forward
+/// labels are *restricted* from the shared [`SourceFrontier`] (an `O(n)`
+/// clamp instead of a BFS) and only the target-dependent backward pass
+/// runs.
+///
+/// The restriction keeps `A₀(u)` iff `A₀(u) ≤ window.end()` — exact for
+/// the frontier's begin (see [`SourceFrontier`]); the resulting tables
+/// admit a superset of [`compute_polarity_into`]'s edges (the frontier does
+/// not avoid the target), which the downstream EEV phase reduces to the
+/// identical tspG.
+///
+/// # Panics
+///
+/// Panics if the frontier does not cover `(s, window)`.
+pub fn compute_polarity_into_with_frontier(
+    graph: &TemporalGraph,
+    s: VertexId,
+    t: VertexId,
+    window: TimeInterval,
+    frontier: &SourceFrontier,
+    times: &mut PolarityTimes,
+    scratch: &mut PolarityScratch,
+) {
+    assert!(
+        frontier.covers(s, window),
+        "frontier over {} from vertex {} cannot answer ({s}, {t}, {window})",
+        frontier.window,
+        frontier.source,
+    );
+    let n = graph.num_vertices();
+    times.departure.clear();
+    times.departure.resize(n, None);
+    times.arrival.clear();
+    if (t as usize) >= n || (s as usize) >= n {
+        times.arrival.resize(n, None);
+        return;
+    }
+    let end = window.end();
+    times.arrival.extend(frontier.arrival.iter().map(|a| a.filter(|&time| time <= end)));
+    backward_pass(graph, s, t, window, &mut times.departure, scratch);
 }
 
 #[cfg(test)]
@@ -255,6 +411,113 @@ mod tests {
         assert!(p.admits_edge(0, 1, 1));
         assert!(p.admits_edge(1, 2, 2));
         assert!(p.admits_edge(2, 3, 3));
+    }
+
+    #[test]
+    fn frontier_arrival_lower_bounds_the_avoiding_pass() {
+        let g = figure1_graph();
+        let (s, t, w) = figure1_query();
+        let frontier = SourceFrontier::compute(&g, s, w);
+        let p = compute_polarity(&g, s, t, w);
+        assert_eq!(frontier.source(), s);
+        assert_eq!(frontier.window(), w);
+        for u in g.vertices() {
+            if let Some(a) = p.arrival(u) {
+                let a0 = frontier.arrival(u).expect("avoid-t reachability implies reachability");
+                assert!(a0 <= a, "vertex {u}: A0={a0} must not exceed A={a}");
+            }
+        }
+        // The frontier does not avoid t, so t itself gets a label here
+        // (reachable via b@6 / c@7) even though A(t) is None by definition.
+        assert_eq!(p.arrival(fig1::T), None);
+        assert!(frontier.arrival(fig1::T).is_some());
+        assert!(frontier.reachable().contains(&fig1::T));
+        assert!(frontier.reachable().windows(2).all(|p| p[0] < p[1]), "ascending");
+    }
+
+    #[test]
+    fn frontier_restriction_equals_a_fresh_pass_on_same_begin_windows() {
+        // For every narrower same-begin window, clamping the hull frontier
+        // must equal a fresh target-agnostic pass over that window.
+        let g = figure1_graph();
+        let hull = TimeInterval::new(2, 7);
+        let frontier = SourceFrontier::compute(&g, fig1::S, hull);
+        for end in 2..=7 {
+            let member = TimeInterval::new(2, end);
+            let fresh = SourceFrontier::compute(&g, fig1::S, member);
+            for u in g.vertices() {
+                let clamped = frontier.arrival(u).filter(|&a| a <= end);
+                assert_eq!(clamped, fresh.arrival(u), "vertex {u}, end {end}");
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_polarity_departure_matches_the_direct_pass() {
+        let g = figure1_graph();
+        let (s, t, w) = figure1_query();
+        let frontier = SourceFrontier::compute(&g, s, w);
+        let direct = compute_polarity(&g, s, t, w);
+        let mut times = PolarityTimes::default();
+        let mut scratch = PolarityScratch::default();
+        for end in [5, 7] {
+            let member = TimeInterval::new(2, end);
+            compute_polarity_into_with_frontier(
+                &g,
+                s,
+                t,
+                member,
+                &frontier,
+                &mut times,
+                &mut scratch,
+            );
+            if end == 7 {
+                assert_eq!(times.departure, direct.departure, "backward pass is untouched");
+            }
+            // Every admitted edge of the avoiding pass stays admitted: the
+            // frontier tables bound the exact ones from below.
+            let exact = compute_polarity(&g, s, t, member);
+            for e in g.edges() {
+                if exact.admits_edge(e.src, e.dst, e.time) {
+                    assert!(times.admits_edge(e.src, e.dst, e.time), "{e:?} lost at end={end}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_covers_checks_source_and_window() {
+        let g = figure1_graph();
+        let frontier = SourceFrontier::compute(&g, fig1::S, TimeInterval::new(2, 7));
+        assert!(frontier.covers(fig1::S, TimeInterval::new(2, 7)));
+        assert!(frontier.covers(fig1::S, TimeInterval::new(2, 4)));
+        assert!(!frontier.covers(fig1::B, TimeInterval::new(2, 7)), "different source");
+        assert!(!frontier.covers(fig1::S, TimeInterval::new(3, 7)), "different begin");
+        assert!(!frontier.covers(fig1::S, TimeInterval::new(2, 9)), "end beyond the hull");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot answer")]
+    fn frontier_polarity_rejects_uncovered_windows() {
+        let g = figure1_graph();
+        let frontier = SourceFrontier::compute(&g, fig1::S, TimeInterval::new(2, 5));
+        compute_polarity_into_with_frontier(
+            &g,
+            fig1::S,
+            fig1::T,
+            TimeInterval::new(2, 7),
+            &frontier,
+            &mut PolarityTimes::default(),
+            &mut PolarityScratch::default(),
+        );
+    }
+
+    #[test]
+    fn out_of_range_frontier_source_is_empty() {
+        let g = figure1_graph();
+        let frontier = SourceFrontier::compute(&g, 99, TimeInterval::new(2, 7));
+        assert!(frontier.reachable().is_empty());
+        assert_eq!(frontier.arrival(fig1::S), None);
     }
 
     #[test]

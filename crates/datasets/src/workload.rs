@@ -340,6 +340,118 @@ pub fn generate_overlapping_workload(
     Ok(queries)
 }
 
+/// Parameters of a same-source fan-out workload: bursts of queries sharing
+/// one source vertex and one window begin, differing in target (and
+/// optionally in window end).
+///
+/// This is the serving-traffic shape the planner's *frontier groups* exist
+/// for: "where can this account's money have gone in the next hour" /
+/// "which hosts did this machine touch during the incident" expand one hot
+/// source against many candidate targets over the same window. The forward
+/// half of the polarity computation is target-independent, so the engine
+/// computes it once per burst — but only if the batch actually contains
+/// such bursts, which this generator produces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FanoutWorkloadConfig {
+    /// Total number of queries to emit (round-robin across the bursts, so
+    /// consecutive batch entries belong to different sources).
+    pub num_queries: usize,
+    /// Number of distinct source bursts (reachability-checked bases).
+    pub sources: usize,
+    /// Span θ of each burst's base window; must be ≥ 1.
+    pub theta: i64,
+    /// Maximum extra timestamps appended to an emitted query's window end
+    /// (the begin never moves — same-begin windows are what the frontier
+    /// restriction is exact for). `0` keeps every window identical.
+    pub end_spread: i64,
+}
+
+impl FanoutWorkloadConfig {
+    /// A workload of `num_queries` over `sources` bursts with span `theta`
+    /// and a half-span end spread.
+    pub fn new(num_queries: usize, sources: usize, theta: i64) -> Self {
+        Self { num_queries, sources, theta, end_spread: (theta / 2).max(0) }
+    }
+}
+
+/// Generates a same-source fan-out workload (see [`FanoutWorkloadConfig`]),
+/// deterministic in `seed`.
+///
+/// Each burst anchors a window of span `theta` on a random out-edge of a
+/// random source (like [`generate_workload`]) and collects every vertex the
+/// source temporally reaches within that window; emitted queries cycle
+/// through those targets round-robin across bursts, each with the burst's
+/// begin and an end stretched by up to `end_spread` extra timestamps.
+pub fn generate_fanout_workload(
+    graph: &TemporalGraph,
+    config: &FanoutWorkloadConfig,
+    seed: u64,
+) -> Result<Vec<Query>, WorkloadError> {
+    if config.sources == 0 {
+        return Err(WorkloadError::InvalidCatalog);
+    }
+    if config.theta < 1 {
+        return Err(WorkloadError::InvalidTheta(config.theta));
+    }
+    if config.num_queries > 0 && graph.is_empty() {
+        return Err(WorkloadError::EmptyGraph);
+    }
+    if config.num_queries == 0 {
+        return Ok(Vec::new());
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xfa40_7a56_6e0d_cafe);
+    let edges = graph.edges();
+    // Sample the bursts: (source, base window, reachable targets). A burst
+    // keeps the reach-richest of a handful of candidate anchors — fan-out
+    // traffic expands *hot* sources, and a burst with one reachable target
+    // is just a repeated query, not a fan-out.
+    let mut bursts: Vec<(VertexId, TimeInterval, Vec<VertexId>)> = Vec::new();
+    let mut attempts_left = 200usize.saturating_mul(config.sources);
+    while bursts.len() < config.sources && attempts_left > 0 {
+        let mut best: Option<(VertexId, TimeInterval, Vec<VertexId>)> = None;
+        for _ in 0..8 {
+            if attempts_left == 0 {
+                break;
+            }
+            attempts_left -= 1;
+            let anchor = edges[rng.random_range(0..edges.len())];
+            let offset = rng.random_range(0..config.theta);
+            let begin = anchor.time.saturating_sub(offset);
+            let window = TimeInterval::new(begin, begin.saturating_add(config.theta - 1));
+            let source = anchor.src;
+            let arrivals = earliest_arrival(graph, source, window);
+            let targets: Vec<VertexId> = arrivals
+                .iter()
+                .enumerate()
+                .filter_map(|(v, a)| (a.is_some() && v != source as usize).then_some(v as VertexId))
+                .collect();
+            if !targets.is_empty() && best.as_ref().is_none_or(|(_, _, b)| targets.len() > b.len())
+            {
+                best = Some((source, window, targets));
+            }
+        }
+        if let Some(burst) = best {
+            bursts.push(burst);
+        }
+    }
+    if bursts.is_empty() {
+        return Err(WorkloadError::NoReachableTargets {
+            requested: config.num_queries,
+            attempts: 200usize.saturating_mul(config.sources),
+        });
+    }
+    let mut queries = Vec::with_capacity(config.num_queries);
+    for i in 0..config.num_queries {
+        let (source, window, targets) = &bursts[i % bursts.len()];
+        let target = targets[(i / bursts.len()) % targets.len()];
+        let stretch =
+            if config.end_spread > 0 { rng.random_range(0..=config.end_spread) } else { 0 };
+        let end = window.end().saturating_add(stretch);
+        queries.push(Query::new(*source, target, TimeInterval::new(window.begin(), end)));
+    }
+    Ok(queries)
+}
+
 /// Convenience wrapper: a deterministic workload over `graph`.
 pub fn generate_workload(
     graph: &TemporalGraph,
@@ -639,6 +751,77 @@ mod tests {
                 0
             ),
             Err(WorkloadError::EmptyGraph)
+        );
+    }
+
+    #[test]
+    fn fanout_workload_shares_sources_and_window_begins() {
+        let g = GraphGenerator::uniform(60, 800, 30).generate(2);
+        let cfg = FanoutWorkloadConfig::new(40, 4, 8);
+        let a = generate_fanout_workload(&g, &cfg, 5).unwrap();
+        assert_eq!(a, generate_fanout_workload(&g, &cfg, 5).unwrap());
+        assert_ne!(a, generate_fanout_workload(&g, &cfg, 6).unwrap());
+        assert_eq!(a.len(), 40);
+        // Round-robin: queries i and i + sources share source and begin but
+        // name a different target (until a burst's target list wraps).
+        let mut per_source: std::collections::HashMap<VertexId, Vec<&Query>> =
+            std::collections::HashMap::new();
+        for q in &a {
+            assert_ne!(q.source, q.target);
+            assert!(is_reachable(&g, q.source, q.target, q.window), "{q}");
+            per_source.entry(q.source).or_default().push(q);
+        }
+        assert!(per_source.len() <= cfg.sources);
+        let mut fanned_out = 0;
+        for queries in per_source.values() {
+            let begin = queries[0].window.begin();
+            assert!(queries.iter().all(|q| q.window.begin() == begin), "same-begin bursts");
+            let mut targets: Vec<VertexId> = queries.iter().map(|q| q.target).collect();
+            targets.sort_unstable();
+            targets.dedup();
+            fanned_out += usize::from(targets.len() > 1);
+            // Ends stay within the configured spread of the base span.
+            for q in queries.iter() {
+                assert!(q.theta() >= cfg.theta && q.theta() <= cfg.theta + cfg.end_spread, "{q}");
+            }
+        }
+        assert!(fanned_out > 0, "at least one burst must fan out to several targets");
+    }
+
+    #[test]
+    fn fanout_workload_zero_spread_repeats_identical_windows() {
+        let g = GraphGenerator::uniform(60, 800, 30).generate(2);
+        let cfg = FanoutWorkloadConfig { end_spread: 0, ..FanoutWorkloadConfig::new(20, 2, 6) };
+        let queries = generate_fanout_workload(&g, &cfg, 9).unwrap();
+        for q in &queries {
+            assert_eq!(q.theta(), 6);
+        }
+    }
+
+    #[test]
+    fn fanout_workload_validates_its_config() {
+        let g = figure1_graph();
+        let bad_sources = FanoutWorkloadConfig { sources: 0, ..FanoutWorkloadConfig::new(8, 2, 6) };
+        assert_eq!(
+            generate_fanout_workload(&g, &bad_sources, 0),
+            Err(WorkloadError::InvalidCatalog)
+        );
+        let bad_theta = FanoutWorkloadConfig { theta: 0, ..FanoutWorkloadConfig::new(8, 2, 6) };
+        assert_eq!(
+            generate_fanout_workload(&g, &bad_theta, 0),
+            Err(WorkloadError::InvalidTheta(0))
+        );
+        assert_eq!(
+            generate_fanout_workload(
+                &TemporalGraph::empty(3),
+                &FanoutWorkloadConfig::new(8, 2, 6),
+                0
+            ),
+            Err(WorkloadError::EmptyGraph)
+        );
+        assert_eq!(
+            generate_fanout_workload(&g, &FanoutWorkloadConfig::new(0, 2, 6), 0),
+            Ok(Vec::new())
         );
     }
 

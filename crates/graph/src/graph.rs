@@ -44,14 +44,22 @@ impl TemporalGraph {
     ///
     /// Edges are sorted and de-duplicated; `num_vertices` is grown if any
     /// edge references a vertex `≥ num_vertices`.
-    pub fn from_edges(num_vertices: usize, mut edges: Vec<TemporalEdge>) -> Self {
-        edges.sort_unstable();
-        edges.dedup();
-        let required = edges.iter().map(|e| (e.src.max(e.dst) as usize) + 1).max().unwrap_or(0);
-        let num_vertices = num_vertices.max(required);
-        let mut graph = Self { num_vertices, edges, ..Self::default() };
-        graph.rebuild_indexes();
+    pub fn from_edges(num_vertices: usize, edges: Vec<TemporalEdge>) -> Self {
+        let mut graph = Self { edges, ..Self::default() };
+        graph.normalize_and_index(num_vertices);
         graph
+    }
+
+    /// Shared normalization of every construction path: sorts and
+    /// de-duplicates `self.edges`, grows the vertex range to cover them,
+    /// and rebuilds both CSR indexes.
+    fn normalize_and_index(&mut self, num_vertices: usize) {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        let required =
+            self.edges.iter().map(|e| (e.src.max(e.dst) as usize) + 1).max().unwrap_or(0);
+        self.num_vertices = num_vertices.max(required);
+        self.rebuild_indexes();
     }
 
     /// Rebuilds the two CSR indexes from `self.edges` (which must already be
@@ -258,6 +266,24 @@ impl TemporalGraph {
         );
         // `source.edges` is sorted and de-duplicated; filtering preserves both.
         self.rebuild_indexes();
+    }
+
+    /// In-place rebuild of `self` from an explicit edge list, reusing
+    /// `self`'s existing heap allocations (edge array and both CSR
+    /// indexes). Edges are sorted and de-duplicated, and `num_vertices` is
+    /// grown if any edge references a vertex beyond it — the same
+    /// normalization as [`TemporalGraph::from_edges`], without the fresh
+    /// allocations.
+    ///
+    /// This is the storage primitive behind the engine's frontier-restricted
+    /// `G_q` scan: the admitted edges are gathered per reachable vertex (so
+    /// they arrive grouped by source, not globally time-sorted) and the
+    /// subgraph is rebuilt from that buffer instead of filtering all `m`
+    /// edges of the input graph.
+    pub fn assign_from_edges(&mut self, num_vertices: usize, edges: &[TemporalEdge]) {
+        self.edges.clear();
+        self.edges.extend_from_slice(edges);
+        self.normalize_and_index(num_vertices);
     }
 
     /// Edge-induced subgraph from a boolean mask indexed by [`EdgeId`].
@@ -491,6 +517,36 @@ mod tests {
         // Growing back after an empty assignment also works.
         reused.assign_edge_induced(&g, |_, _| true);
         assert_eq!(reused.edges(), g.edges());
+    }
+
+    #[test]
+    fn assign_from_edges_matches_from_edges() {
+        let g = figure1_graph();
+        let mut reused = TemporalGraph::default();
+        // Unsorted input with duplicates, delivered grouped-by-source the
+        // way the frontier-restricted scan gathers admitted edges.
+        let mut edges: Vec<TemporalEdge> = Vec::new();
+        for u in (0..g.num_vertices() as VertexId).rev() {
+            edges.extend(
+                g.out_neighbors(u).iter().map(|a| TemporalEdge::new(u, a.neighbor, a.time)),
+            );
+        }
+        edges.push(edges[0]);
+        reused.assign_from_edges(g.num_vertices(), &edges);
+        assert_eq!(reused.edges(), g.edges());
+        for u in g.vertices() {
+            assert_eq!(reused.out_neighbors(u), g.out_neighbors(u));
+            assert_eq!(reused.in_neighbors(u), g.in_neighbors(u));
+        }
+        // Reassigning smaller, then empty, then growing the vertex range.
+        reused.assign_from_edges(2, &[TemporalEdge::new(0, 1, 5)]);
+        assert_eq!(reused.num_edges(), 1);
+        assert_eq!(reused.num_vertices(), 2);
+        reused.assign_from_edges(3, &[]);
+        assert!(reused.is_empty());
+        assert_eq!(reused.num_vertices(), 3);
+        reused.assign_from_edges(1, &[TemporalEdge::new(4, 2, 1)]);
+        assert_eq!(reused.num_vertices(), 5, "vertex range grows to cover the edges");
     }
 
     #[test]

@@ -39,13 +39,13 @@ pub mod prelude {
     pub use tspg_baselines::{run_ep, EpAlgorithm};
     pub use tspg_core::{
         generate_tspg, generate_tspg_with, BatchStats, CacheConfig, CacheStats, PlannerConfig,
-        QueryEngine, QueryScratch, QuerySpec, VugConfig, VugReport, VugResult,
+        QueryEngine, QueryScratch, QuerySpec, SourceFrontier, VugConfig, VugReport, VugResult,
     };
     pub use tspg_datasets::{
-        format_queries, generate_overlapping_workload, generate_repeated_workload,
-        generate_workload, generate_workload_batches, parse_queries, registry, DatasetSpec,
-        GraphGenerator, OverlappingWorkloadConfig, Query, RepeatedWorkloadConfig, Scale,
-        WorkloadError,
+        format_queries, generate_fanout_workload, generate_overlapping_workload,
+        generate_repeated_workload, generate_workload, generate_workload_batches, parse_queries,
+        registry, DatasetSpec, FanoutWorkloadConfig, GraphGenerator, OverlappingWorkloadConfig,
+        Query, RepeatedWorkloadConfig, Scale, WorkloadError,
     };
     pub use tspg_enum::{count_paths, enumerate_paths, naive_tspg, Budget};
     pub use tspg_graph::fixtures::{figure1_graph, figure1_query};

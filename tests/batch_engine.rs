@@ -1,21 +1,28 @@
-//! Cross-crate tests of the batch query engine: the acceptance gate that a
-//! generated 100-query workload answered through `QueryEngine::run_batch`
-//! is byte-for-byte identical to 100 sequential one-shot `generate_tspg`
-//! calls, plus differential property tests against the one-shot path and
-//! naive enumeration on random graphs (covering `s == t`, empty-result
-//! and single-timestamp-window queries) and against PR 2's sequential path
-//! on batches stuffed with exact duplicates and contained windows — the
-//! shapes the planner collapses and the cache memoizes.
+//! Cross-crate tests of the batch query engine, built on the shared
+//! differential harness (`tests/common/differential.rs`): every planner /
+//! executor / cache configuration must answer batches byte-identically to
+//! the PR 2 sequential path (and, through the naive-enumeration anchor, to
+//! exhaustive path enumeration). The deterministic tests pin the
+//! acceptance workloads — a generated 100-query batch, skewed serving
+//! traffic, the issue's adversarial overlap chain, same-source fan-out
+//! bursts and the dense-graph envelope heuristic — while the proptests
+//! sweep random graphs and batches through the full configuration grid.
 
+mod common;
+
+use common::differential::{
+    assert_batch_matches_sequential, assert_sequential_matches_naive, assert_stats_invariants,
+    sequential_results, EngineSetup,
+};
 use proptest::collection::vec;
 use proptest::prelude::*;
-use tspg_suite::core::{CacheConfig, PlannerConfig, QueryEngine, QueryScratch, QuerySpec};
+use tspg_suite::core::{CacheConfig, PlannerConfig, QueryEngine, QuerySpec};
 use tspg_suite::prelude::*;
 
 /// The acceptance-criterion test: a 100-query generated workload, answered
-/// as one batch (sequentially and with worker threads), must return exactly
-/// what 100 independent one-shot calls return — same edge sets, same sizes,
-/// same order.
+/// as one batch under the default and the feature-grid configurations,
+/// must return exactly what 100 independent one-shot calls return — same
+/// edge sets, same sizes, same order.
 #[test]
 fn batch_of_100_workload_queries_matches_one_shot_vug() {
     let spec = registry().into_iter().next().expect("registry has datasets");
@@ -24,23 +31,18 @@ fn batch_of_100_workload_queries_matches_one_shot_vug() {
         generate_workload(&graph, 100, spec.default_theta, 99).expect("workload");
     assert_eq!(queries.len(), 100, "workload generation must fill the batch");
 
-    let one_shot: Vec<_> =
-        queries.iter().map(|q| generate_tspg(&graph, q.source, q.target, q.window)).collect();
-
-    let engine = QueryEngine::new(graph);
-    for threads in [1, 4] {
-        let batch = engine.run_batch(&queries, threads);
-        assert_eq!(batch.len(), one_shot.len());
-        for (i, (b, o)) in batch.iter().zip(one_shot.iter()).enumerate() {
-            assert_eq!(b.tspg, o.tspg, "threads={threads}, query #{i}");
-            assert_eq!(
-                b.report.result_vertices, o.report.result_vertices,
-                "threads={threads}, query #{i}"
-            );
-            assert_eq!(b.report.quick_edges, o.report.quick_edges, "threads={threads} #{i}");
-            assert_eq!(b.report.tight_edges, o.report.tight_edges, "threads={threads} #{i}");
-        }
+    // The harness pins batches against the PR 2 sequential path; anchor
+    // that path itself against the one-shot pipeline entry point first.
+    let sequential = sequential_results(&graph, &queries);
+    for (q, r) in queries.iter().zip(sequential.iter()) {
+        let one_shot = generate_tspg(&graph, q.source, q.target, q.window);
+        assert_eq!(r.tspg, one_shot.tspg, "sequential path diverged from one-shot for {q}");
     }
+    assert_batch_matches_sequential(
+        &graph,
+        &queries,
+        &[EngineSetup::new("default", PlannerConfig::default()).with_cache(1024)],
+    );
 }
 
 /// The serving acceptance gate: on a skewed repeated workload the planned +
@@ -55,11 +57,7 @@ fn skewed_workload_is_answered_with_fewer_pipeline_executions_than_queries() {
     let queries = generate_repeated_workload(&graph, &cfg, 7).expect("workload");
     assert_eq!(queries.len(), 200);
 
-    // PR 2's sequential path: one raw pipeline execution per query.
-    let sequential_engine = QueryEngine::new(graph.clone()).without_cache();
-    let mut scratch = QueryScratch::new();
-    let sequential: Vec<_> =
-        queries.iter().map(|&q| sequential_engine.run(q, &mut scratch)).collect();
+    let sequential = sequential_results(&graph, &queries);
 
     // Planned + cached serving: two batches, so the second can hit the
     // cache populated by the first.
@@ -79,16 +77,7 @@ fn skewed_workload_is_answered_with_fewer_pipeline_executions_than_queries() {
     );
     assert!(stats.dedup_answered > 0, "a skewed workload must contain duplicates: {stats:?}");
     assert!(stats.cache_hits > 0, "the second batch must hit the cache: {stats:?}");
-    assert_eq!(
-        stats.executed_units
-            + stats.shared_answered
-            + stats.envelope_answered
-            + stats.dedup_answered
-            + stats.cache_hits
-            + stats.degenerate,
-        stats.queries,
-        "every query is answered exactly one way: {stats:?}"
-    );
+    assert_stats_invariants(&stats);
     for (i, (a, b)) in sequential.iter().zip(results.iter()).enumerate() {
         assert_eq!(a.tspg, b.tspg, "query #{i} diverged from the sequential path");
     }
@@ -112,42 +101,34 @@ fn graph_and_batch() -> impl Strategy<Value = (TemporalGraph, Vec<QuerySpec>)> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+    #![proptest_config(ProptestConfig::with_cases(32))]
 
     /// Differential invariant: for every query of every batch, the engine
-    /// (warm scratch, sequential and parallel), the one-shot VUG path and
-    /// the naive enumeration edge-union all agree exactly.
+    /// (sequential and parallel), the one-shot VUG path and the naive
+    /// enumeration edge-union all agree exactly.
     #[test]
     fn batch_engine_matches_one_shot_and_naive_enumeration(
         (graph, queries) in graph_and_batch()
     ) {
-        let engine = QueryEngine::new(graph.clone());
-        let sequential = engine.run_batch(&queries, 1);
-        let parallel = engine.run_batch(&queries, 3);
-        prop_assert_eq!(sequential.len(), queries.len());
-        for (i, q) in queries.iter().enumerate() {
-            let one_shot = generate_tspg(&graph, q.source, q.target, q.window);
-            let naive = naive_tspg(&graph, q.source, q.target, q.window, &Budget::unlimited());
-            prop_assert!(naive.is_exact());
-            prop_assert_eq!(&sequential[i].tspg, &one_shot.tspg, "query #{} {:?}", i, q);
-            prop_assert_eq!(&parallel[i].tspg, &one_shot.tspg, "query #{} {:?}", i, q);
-            prop_assert_eq!(&sequential[i].tspg, &naive.tspg, "query #{} {:?}", i, q);
-            if q.source == q.target {
-                prop_assert!(sequential[i].tspg.is_empty(), "s == t must be empty");
-            }
-        }
+        assert_sequential_matches_naive(&graph, &queries);
+        assert_batch_matches_sequential(
+            &graph,
+            &queries,
+            &[EngineSetup::new("default", PlannerConfig::default()).at_threads(&[1, 3])],
+        );
     }
 
     /// The planner/cache differential invariant: a batch deliberately
     /// stuffed with exact duplicates and contained windows — the shapes
     /// dedup, window sharing and the cache all fire on — answered through
-    /// the planned + cached engine (twice, so the second pass is pure
-    /// cache) equals PR 2's sequential per-query path, order preserved.
+    /// the full configuration grid (cached setups twice, so the second
+    /// pass is pure cache) equals PR 2's sequential per-query path, order
+    /// preserved.
     #[test]
     fn planned_and_cached_batches_match_the_sequential_path(
         ((graph, base), picks) in (
             graph_and_batch(),
-            vec((0..64usize, 0..3usize, 0..=2i64, 0..=2i64), 1..24),
+            vec((0..64usize, 0..3usize, 0..=2i64, 0..=2i64), 1..20),
         )
     ) {
         // Derive a repetition-heavy batch from the base queries: exact
@@ -166,61 +147,25 @@ proptest! {
                 _ => queries.push(QuerySpec::new(q.target, q.source, q.window)),
             }
         }
-
-        // PR 2's sequential path: raw pipeline per query, no plan/cache.
-        let sequential_engine = QueryEngine::new(graph.clone()).without_cache();
-        let mut scratch = QueryScratch::new();
-        let sequential: Vec<_> =
-            queries.iter().map(|&q| sequential_engine.run(q, &mut scratch)).collect();
-
-        // Plenty of headroom per shard so no second-pass query was evicted.
-        let engine = QueryEngine::new(graph).with_cache(CacheConfig::with_max_entries(4096));
-        let (cold, stats) = engine.run_batch_with_stats(&queries, 3);
-        prop_assert_eq!(cold.len(), queries.len());
-        prop_assert_eq!(
-            stats.executed_units + stats.shared_answered + stats.envelope_answered
-                + stats.dedup_answered + stats.cache_hits + stats.degenerate,
-            stats.queries
+        assert_batch_matches_sequential(
+            &graph,
+            &queries,
+            &[EngineSetup::new("default", PlannerConfig::default())
+                .with_cache(4096)
+                .at_threads(&[3])],
         );
-        let (warm, warm_stats) = engine.run_batch_with_stats(&queries, 3);
-        // pipeline_runs() counts synthesized envelope runs too — a cache
-        // regression that re-synthesizes envelopes must not slip through.
-        prop_assert_eq!(warm_stats.pipeline_runs(), 0, "second pass must be pure cache");
-        for (i, q) in queries.iter().enumerate() {
-            prop_assert_eq!(&cold[i].tspg, &sequential[i].tspg, "cold #{} {:?}", i, q);
-            prop_assert_eq!(&warm[i].tspg, &sequential[i].tspg, "warm #{} {:?}", i, q);
-        }
     }
 
-    /// A warm scratch carried across wildly different queries never leaks
-    /// state from one query into the next: each answer equals a cold run.
-    #[test]
-    fn warm_scratch_is_stateless_across_queries(
-        (graph, queries) in graph_and_batch()
-    ) {
-        let engine = QueryEngine::new(graph.clone());
-        let mut scratch = QueryScratch::new();
-        for q in &queries {
-            let warm = engine.run(*q, &mut scratch);
-            let cold = engine.run(*q, &mut QueryScratch::new());
-            prop_assert_eq!(&warm.tspg, &cold.tspg, "query {:?}", q);
-            prop_assert_eq!(warm.report.quick_edges, cold.report.quick_edges);
-            prop_assert_eq!(warm.report.tight_edges, cold.report.tight_edges);
-        }
-    }
-
-    /// The envelope differential invariant: a batch stuffed with
-    /// overlapping (non-nested) windows, nested refinements and disjoint
-    /// windows of a few endpoint pairs — the shapes envelope planning
-    /// clusters, splits on the cost guard, and leaves alone — answered
-    /// through the planning engine (sequentially and with enough threads
-    /// that followers are stolen) is byte-identical, order preserved, to
-    /// PR 2's sequential per-query path.
+    /// The envelope differential invariant: overlap chains, nested
+    /// refinements and disjoint windows of a few endpoint pairs — the
+    /// shapes envelope planning clusters, splits on the cost guard, and
+    /// leaves alone — under containment-only, default and near-unbounded
+    /// cost guards, across thread counts that force follower stealing.
     #[test]
     fn envelope_planned_batches_match_the_sequential_path(
         ((graph, _), shapes) in (
             graph_and_batch(),
-            vec((0..4u32, 0..4u32, 1..=6i64, 1..=4i64, 0..=3i64), 4..28),
+            vec((0..4u32, 0..4u32, 1..=6i64, 1..=4i64, 0..=3i64), 4..24),
         )
     ) {
         // Build overlap chains deterministically from the shape tuples:
@@ -232,47 +177,69 @@ proptest! {
             let b = begin + slide;
             queries.push(QuerySpec::new(s, t, TimeInterval::new(b, (b + extent).min(9))));
         }
+        let stats = assert_batch_matches_sequential(
+            &graph,
+            &queries,
+            &[
+                EngineSetup::new("containment", PlannerConfig::containment_only()),
+                EngineSetup::new("default", PlannerConfig::default()),
+                EngineSetup::new("greedy", PlannerConfig::with_span_factor(8.0)),
+            ],
+        );
+        // A near-unbounded cost guard merges at least as aggressively as
+        // the default, which merges at least as much as containment-only
+        // (stats come back setup-major: two thread counts per setup).
+        let per_setup: Vec<usize> = stats.chunks(2).map(|c| c[0].pipeline_runs()).collect();
+        prop_assert!(per_setup[2] <= per_setup[1] && per_setup[1] <= per_setup[0]);
+    }
 
-        // PR 2's sequential path: raw pipeline per query, no plan/cache.
-        let sequential_engine = QueryEngine::new(graph.clone()).without_cache();
-        let mut scratch = QueryScratch::new();
-        let sequential: Vec<_> =
-            queries.iter().map(|&q| sequential_engine.run(q, &mut scratch)).collect();
-
-        let engine = QueryEngine::new(graph.clone()).without_cache();
-        let aggressive = QueryEngine::new(graph)
-            .without_cache()
-            .with_planner(PlannerConfig::with_span_factor(8.0));
-        for threads in [1usize, 4] {
-            let (results, stats) = engine.run_batch_with_stats(&queries, threads);
-            prop_assert_eq!(
-                stats.executed_units + stats.shared_answered + stats.envelope_answered
-                    + stats.dedup_answered + stats.degenerate,
-                stats.queries
-            );
-            for (i, q) in queries.iter().enumerate() {
-                prop_assert_eq!(
-                    &results[i].tspg, &sequential[i].tspg,
-                    "threads={} #{} {:?}", threads, i, q
-                );
-            }
-            // A near-unbounded cost guard merges far more aggressively;
-            // answers must not move.
-            let (greedy, greedy_stats) = aggressive.run_batch_with_stats(&queries, threads);
-            prop_assert!(greedy_stats.pipeline_runs() <= stats.pipeline_runs());
-            for (i, q) in queries.iter().enumerate() {
-                prop_assert_eq!(
-                    &greedy[i].tspg, &sequential[i].tspg,
-                    "aggressive threads={} #{} {:?}", threads, i, q
-                );
+    /// The frontier differential invariant (this PR's tentpole): random
+    /// same-source fan-out batches — bursts of queries sharing a source
+    /// and a window begin, with stretched ends and interleaved duplicates
+    /// — answered with frontier sharing on and off, across 1/4/8 threads,
+    /// all byte-identical to the sequential path.
+    #[test]
+    fn frontier_shared_batches_match_the_sequential_path(
+        ((graph, _), bursts) in (
+            graph_and_batch(),
+            vec((0..9u32, 1..=6i64, vec((0..9u32, 0..=3i64), 2..6)), 1..5),
+        )
+    ) {
+        // Each burst tuple is (source, begin, [(target, end stretch)]):
+        // every member query keeps the burst's source and begin — the
+        // grouping key — and stretches its end, so hulls and the span
+        // guard are exercised alongside plain same-window fan-outs.
+        let mut queries: Vec<QuerySpec> = Vec::new();
+        for &(s, begin, ref members) in &bursts {
+            for &(t, stretch) in members {
+                let end = (begin + 2 + stretch).min(9);
+                queries.push(QuerySpec::new(s, t, TimeInterval::new(begin, end)));
             }
         }
+        let stats = assert_batch_matches_sequential(
+            &graph,
+            &queries,
+            &[
+                EngineSetup::new("frontier", PlannerConfig::default()).at_threads(&[1, 4, 8]),
+                EngineSetup::new(
+                    "no-frontier",
+                    PlannerConfig::default().without_frontier_sharing(),
+                ).at_threads(&[1, 4, 8]),
+            ],
+        );
+        // Sharing is answer-invisible *and* run-count-invisible: the two
+        // setups must plan exactly the same number of pipeline runs.
+        let frontier_runs: Vec<usize> = stats[..3].iter().map(|s| s.pipeline_runs()).collect();
+        let plain_runs: Vec<usize> = stats[3..].iter().map(|s| s.pipeline_runs()).collect();
+        prop_assert_eq!(frontier_runs, plain_runs);
+        prop_assert!(stats[3..].iter().all(|s| s.frontier_groups == 0));
     }
+
 }
 
-/// The adversarial shapes named in the issue, pinned deterministically: an
-/// overlap chain `[0,5], [3,8], [6,12]` plus mixed nested / overlapping /
-/// disjoint groups, answered with envelope planning across thread counts
+/// The adversarial shapes named in PR 4's issue, pinned deterministically:
+/// an overlap chain `[0,5], [3,8], [6,12]` plus mixed nested / overlapping
+/// / disjoint groups, answered with envelope planning across thread counts
 /// that force follower stealing, must equal the sequential path exactly —
 /// and the chain must actually be collapsed by the planner.
 #[test]
@@ -305,33 +272,100 @@ fn envelope_overlap_chains_and_mixed_groups_match_sequential() {
         QuerySpec::new(s, s, w(0, 5)),
     ];
 
-    let sequential_engine = QueryEngine::new(graph.clone()).without_cache();
-    let mut scratch = QueryScratch::new();
-    let sequential: Vec<_> =
-        queries.iter().map(|&q| sequential_engine.run(q, &mut scratch)).collect();
-
-    let engine = QueryEngine::new(graph).without_cache();
-    for threads in [1usize, 2, 8] {
-        let (results, stats) = engine.run_batch_with_stats(&queries, threads);
+    let stats = assert_batch_matches_sequential(
+        &graph,
+        &queries,
+        &[EngineSetup::new("default", PlannerConfig::default()).at_threads(&[1, 2, 8])],
+    );
+    for stats in &stats {
         assert!(stats.envelope_units >= 1, "the chain must be enveloped: {stats:?}");
         assert_eq!(stats.envelope_answered, 3, "{stats:?}");
         assert_eq!(stats.shared_answered, 1, "{stats:?}");
         assert_eq!(stats.dedup_answered, 1, "{stats:?}");
         assert_eq!(stats.degenerate, 1, "{stats:?}");
-        assert_eq!(
-            stats.executed_units
-                + stats.shared_answered
-                + stats.envelope_answered
-                + stats.dedup_answered
-                + stats.degenerate,
-            stats.queries
-        );
-        for (i, (a, b)) in sequential.iter().zip(results.iter()).enumerate() {
-            assert_eq!(a.tspg, b.tspg, "threads={threads} query #{i} diverged");
-            assert_eq!(
-                a.report.result_vertices, b.report.result_vertices,
-                "threads={threads} query #{i}"
-            );
-        }
+    }
+}
+
+/// Deterministic fan-out acceptance: a generated same-source fan-out
+/// workload forms frontier groups, the overlay counters stay within their
+/// bounds, and every answer matches the sequential path whether sharing is
+/// on or off.
+#[test]
+fn fanout_workloads_share_frontiers_and_match_sequential() {
+    let graph = GraphGenerator::uniform(80, 900, 40).generate(0x12);
+    let cfg = FanoutWorkloadConfig::new(48, 6, 8);
+    let queries = generate_fanout_workload(&graph, &cfg, 11).expect("workload");
+    let stats = assert_batch_matches_sequential(
+        &graph,
+        &queries,
+        &[
+            EngineSetup::new("frontier", PlannerConfig::default()).at_threads(&[1, 4, 8]),
+            EngineSetup::new("no-frontier", PlannerConfig::default().without_frontier_sharing()),
+        ],
+    );
+    assert!(
+        stats[0].frontier_groups >= 1,
+        "a fan-out workload must form frontier groups: {:?}",
+        stats[0]
+    );
+    assert!(stats[0].frontier_answered >= 2 * stats[0].frontier_groups, "{:?}", stats[0]);
+}
+
+/// The dense-graph envelope heuristic (ROADMAP item): on a dense registry
+/// miniature, an engine that has observed the tspG/graph density stops
+/// synthesizing envelope units, and its pipeline-run count is no worse
+/// than containment-only planning — while answers stay byte-identical.
+#[test]
+fn dense_registry_miniature_trips_the_envelope_density_heuristic() {
+    // The registry's tiny datasets are deliberately dense miniatures;
+    // wide windows make every tspG cover a large share of the graph.
+    let spec = registry().into_iter().next().expect("registry has datasets");
+    let graph = spec.generate(Scale::tiny(), 0xfeed);
+    let base = generate_workload(&graph, 4, 12, 21).expect("workload");
+    // Overlap chains on the sampled pairs: the shape envelope synthesis
+    // would collapse if the density heuristic did not veto it.
+    let mut queries = Vec::new();
+    for q in &base {
+        let w = q.window;
+        queries.push(QuerySpec::new(q.source, q.target, w));
+        let slide = (w.span() / 2).max(1);
+        let begin = w.begin() + slide;
+        queries.push(QuerySpec::new(
+            q.source,
+            q.target,
+            TimeInterval::new(begin, begin + w.span() - 1),
+        ));
+    }
+
+    let cutoff = 0.5;
+    let adaptive = QueryEngine::new(graph.clone())
+        .without_cache()
+        .with_planner(PlannerConfig::default().with_density_cutoff(cutoff));
+    // Priming batch: no density signal yet, envelopes may synthesize.
+    let (_, cold) = adaptive.run_batch_with_stats(&queries, 2);
+    assert!(cold.envelope_units >= 1, "the chains must envelope on a fresh engine: {cold:?}");
+    let observed = adaptive.observed_density().expect("primed engine has a signal");
+    assert!(
+        observed > cutoff,
+        "the registry miniature must be dense (observed {observed:.2} <= {cutoff})"
+    );
+
+    // Warm batch: the heuristic vetoes synthesis; run count must be no
+    // worse than explicit containment-only planning on the same batch.
+    let (warm_results, warm) = adaptive.run_batch_with_stats(&queries, 2);
+    assert_eq!(warm.envelope_units, 0, "dense signal must disable synthesis: {warm:?}");
+    let containment = QueryEngine::new(graph.clone())
+        .without_cache()
+        .with_planner(PlannerConfig::containment_only());
+    let (_, baseline) = containment.run_batch_with_stats(&queries, 2);
+    assert!(
+        warm.pipeline_runs() <= baseline.pipeline_runs(),
+        "adaptive planning must not run more pipelines ({}) than containment-only ({})",
+        warm.pipeline_runs(),
+        baseline.pipeline_runs()
+    );
+    let sequential = sequential_results(&graph, &queries);
+    for (i, (a, b)) in sequential.iter().zip(warm_results.iter()).enumerate() {
+        assert_eq!(a.tspg, b.tspg, "query #{i} diverged under the density heuristic");
     }
 }

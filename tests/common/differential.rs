@@ -1,0 +1,190 @@
+//! Reusable differential harness: every planner/executor/cache feature of
+//! the batch engine must be answer-invisible, and PRs 2–4 each grew their
+//! own ad-hoc byte-identity test for it. This module is the one shared
+//! implementation of that pattern.
+//!
+//! [`assert_batch_matches_sequential`] answers a batch through any number
+//! of engine configurations (each across several thread counts and warm
+//! passes) and asserts, per batch slot, byte-identity of the tspG — and of
+//! the result-derived report fields — against the PR 2 sequential path
+//! (one raw pipeline execution per query, no planner, no cache). It also
+//! asserts the [`BatchStats`] bookkeeping invariants on every run and
+//! returns the collected stats so callers can pin feature-specific
+//! expectations (cache hits, envelope counts, frontier groups) on top.
+
+// Each test binary compiles this module independently and uses a different
+// subset of the helpers.
+#![allow(dead_code)]
+
+use tspg_suite::core::QueryScratch;
+use tspg_suite::prelude::*;
+
+/// One engine configuration to pin against the PR 2 sequential path.
+#[derive(Clone, Debug)]
+pub struct EngineSetup {
+    /// Shown in every assertion message.
+    pub label: String,
+    /// Planner policy of the engine under test.
+    pub planner: PlannerConfig,
+    /// Result-cache bound, or `None` for a cache-less engine.
+    pub cache: Option<CacheConfig>,
+    /// Worker-thread counts the batch is answered at (each on a fresh
+    /// engine, so thread counts never see each other's cache state).
+    pub threads: Vec<usize>,
+    /// Times the same batch is replayed through one engine; passes beyond
+    /// the first exercise the warm result cache and the planner's density
+    /// feedback.
+    pub passes: usize,
+}
+
+impl EngineSetup {
+    /// A cache-less setup answering at 1 and 4 worker threads.
+    pub fn new(label: impl Into<String>, planner: PlannerConfig) -> Self {
+        Self { label: label.into(), planner, cache: None, threads: vec![1, 4], passes: 1 }
+    }
+
+    /// Adds a result cache and a second (warm) pass.
+    pub fn with_cache(mut self, entries: usize) -> Self {
+        self.cache = Some(CacheConfig::with_max_entries(entries));
+        self.passes = self.passes.max(2);
+        self
+    }
+
+    /// Overrides the worker-thread counts.
+    pub fn at_threads(mut self, threads: &[usize]) -> Self {
+        self.threads = threads.to_vec();
+        self
+    }
+
+    /// The full planner-feature grid crossed with cache on/off: every
+    /// combination of `envelopes` × `frontier_sharing` × cache, the
+    /// configuration space the `BatchStats` invariants must hold over.
+    pub fn grid() -> Vec<EngineSetup> {
+        let mut setups = Vec::new();
+        for (env_label, base) in [
+            ("envelopes", PlannerConfig::default()),
+            ("containment", PlannerConfig::containment_only()),
+        ] {
+            for (frontier_label, planner) in
+                [("frontier", base), ("no-frontier", base.without_frontier_sharing())]
+            {
+                for cached in [false, true] {
+                    let label = format!(
+                        "{env_label}/{frontier_label}/{}",
+                        if cached { "cache" } else { "no-cache" }
+                    );
+                    let setup = EngineSetup::new(label, planner);
+                    setups.push(if cached { setup.with_cache(4096) } else { setup });
+                }
+            }
+        }
+        setups
+    }
+}
+
+/// The PR 2 sequential path: one raw pipeline execution per query out of a
+/// warm scratch, bypassing planner and cache. This is the reference every
+/// batch configuration is held to.
+pub fn sequential_results(graph: &TemporalGraph, queries: &[QuerySpec]) -> Vec<VugResult> {
+    let engine = QueryEngine::new(graph.clone()).without_cache();
+    let mut scratch = QueryScratch::new();
+    queries.iter().map(|&q| engine.run(q, &mut scratch)).collect()
+}
+
+/// The [`BatchStats`] bookkeeping invariants that hold for *every* batch,
+/// regardless of planner configuration:
+///
+/// * the six answer buckets partition the batch (each query is answered
+///   exactly one way);
+/// * planning never runs more full-graph pipelines than there are queries;
+/// * the frontier overlay counters stay within their bounds (`groups ≤
+///   pipeline runs`, `answered ≤ queries`, and sharing implies ≥ 2 runs
+///   per group).
+pub fn assert_stats_invariants(stats: &BatchStats) {
+    assert_eq!(
+        stats.executed_units
+            + stats.shared_answered
+            + stats.envelope_answered
+            + stats.dedup_answered
+            + stats.cache_hits
+            + stats.degenerate,
+        stats.queries,
+        "every query is answered exactly one way: {stats:?}"
+    );
+    assert!(
+        stats.pipeline_runs() <= stats.queries,
+        "planning must never add net pipeline runs: {stats:?}"
+    );
+    assert!(stats.frontier_answered <= stats.queries, "overlay bound: {stats:?}");
+    assert!(
+        stats.frontier_groups * 2 <= stats.pipeline_runs(),
+        "every frontier group shares across at least two member runs: {stats:?}"
+    );
+}
+
+/// Answers `queries` through every setup × thread count × pass and asserts
+/// each slot's answer is byte-identical to the PR 2 sequential path, in
+/// order. Returns the stats of every run (in setup-major order) for
+/// feature-specific follow-up assertions.
+pub fn assert_batch_matches_sequential(
+    graph: &TemporalGraph,
+    queries: &[QuerySpec],
+    setups: &[EngineSetup],
+) -> Vec<BatchStats> {
+    let sequential = sequential_results(graph, queries);
+    let mut collected = Vec::new();
+    for setup in setups {
+        for &threads in &setup.threads {
+            let mut engine = QueryEngine::new(graph.clone()).with_planner(setup.planner);
+            engine = match setup.cache {
+                Some(cache) => engine.with_cache(cache),
+                None => engine.without_cache(),
+            };
+            for pass in 0..setup.passes.max(1) {
+                let (results, stats) = engine.run_batch_with_stats(queries, threads);
+                let context = |i: usize| {
+                    format!(
+                        "[{}] threads={threads} pass={pass} query #{i} ({})",
+                        setup.label, queries[i]
+                    )
+                };
+                assert_eq!(results.len(), queries.len(), "[{}] result arity", setup.label);
+                assert_stats_invariants(&stats);
+                if setup.cache.is_some() && pass > 0 {
+                    assert_eq!(
+                        stats.pipeline_runs(),
+                        0,
+                        "[{}] threads={threads} pass={pass}: a replayed batch must be answered \
+                         from the cache: {stats:?}",
+                        setup.label
+                    );
+                }
+                for (i, (got, want)) in results.iter().zip(&sequential).enumerate() {
+                    assert_eq!(got.tspg, want.tspg, "{}", context(i));
+                    assert_eq!(got.report.result_edges, want.report.result_edges, "{}", context(i));
+                    assert_eq!(
+                        got.report.result_vertices,
+                        want.report.result_vertices,
+                        "{}",
+                        context(i)
+                    );
+                }
+                collected.push(stats);
+            }
+        }
+    }
+    collected
+}
+
+/// Exactness anchor: the sequential path itself must equal exhaustive
+/// naive enumeration on every query. Combined with
+/// [`assert_batch_matches_sequential`] this pins the whole engine, not
+/// just its internal consistency.
+pub fn assert_sequential_matches_naive(graph: &TemporalGraph, queries: &[QuerySpec]) {
+    for (i, result) in sequential_results(graph, queries).iter().enumerate() {
+        let q = queries[i];
+        let naive = naive_tspg(graph, q.source, q.target, q.window, &Budget::unlimited());
+        assert!(naive.is_exact(), "naive enumeration must not be budget-limited");
+        assert_eq!(result.tspg, naive.tspg, "query #{i} ({q}) diverged from enumeration");
+    }
+}

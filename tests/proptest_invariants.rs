@@ -1,6 +1,14 @@
 //! Property-based tests (proptest) of the core invariants, run on randomly
-//! generated temporal graphs and queries.
+//! generated temporal graphs and queries. The headline exactness invariant
+//! goes through the shared differential harness
+//! (`tests/common/differential.rs`), so one property pins naive
+//! enumeration == one-shot VUG == every batch-engine path at once.
 
+mod common;
+
+use common::differential::{
+    assert_batch_matches_sequential, assert_sequential_matches_naive, EngineSetup,
+};
 use proptest::collection::vec;
 use proptest::prelude::*;
 use tspg_suite::core as vug;
@@ -26,13 +34,22 @@ fn graph_and_query() -> impl Strategy<Value = (TemporalGraph, VertexId, VertexId
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
-    /// The headline invariant: VUG equals exhaustive enumeration.
+    /// The headline invariant, through the differential harness: naive
+    /// enumeration == the sequential engine path == the one-shot pipeline
+    /// == the planned batch engine (with and without frontier sharing).
     #[test]
     fn vug_equals_naive_enumeration((graph, s, t, window) in graph_and_query()) {
+        let query = Query::new(s, t, window);
         let vug_result = generate_tspg(&graph, s, t, window);
         let naive = naive_tspg(&graph, s, t, window, &Budget::unlimited());
         prop_assert!(naive.is_exact());
-        prop_assert_eq!(vug_result.tspg, naive.tspg);
+        prop_assert_eq!(&vug_result.tspg, &naive.tspg);
+        assert_sequential_matches_naive(&graph, &[query]);
+        assert_batch_matches_sequential(
+            &graph,
+            &[query],
+            &[EngineSetup::new("default", PlannerConfig::default()).at_threads(&[1])],
+        );
     }
 
     /// Subgraph chain: tspG ⊆ G_t ⊆ G_q ⊆ projection ⊆ G.
