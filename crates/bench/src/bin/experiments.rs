@@ -21,6 +21,7 @@
 //!   exp10      serving on skewed repeated traffic       (Exp-10, beyond the paper)
 //!   exp11      envelope sharing on overlapping windows  (Exp-11, beyond the paper)
 //!   exp12      same-source frontier sharing on fan-outs (Exp-12, beyond the paper)
+//!   exp13      closed-loop latency through tspg-server  (Exp-13, beyond the paper)
 //!
 //! OPTIONS
 //!   --scale tiny|small|medium   dataset scale                (default small)
@@ -30,6 +31,9 @@
 //!   --budget-ms N               per-query baseline budget    (default 2000)
 //!   --threads N                 batch/serving workers        (default 2)
 //!   --cache-size N              exp10 result-cache entries   (default 4096)
+//!   --json PATH                 also write every produced table to PATH as
+//!                               a `tspg-bench-tables/1` JSON document (the
+//!                               machine-readable bench trajectory)
 //! ```
 
 use std::process::ExitCode;
@@ -57,6 +61,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut cfg = HarnessConfig::default();
     let mut threads: usize = 2;
     let mut cache_size: usize = 4096;
+    let mut json_path: Option<String> = None;
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -105,6 +110,9 @@ fn run(args: &[String]) -> Result<(), String> {
                     return Err("--cache-size must be at least 1".to_string());
                 }
             }
+            "--json" => {
+                json_path = Some(next_value(&mut iter, "--json")?);
+            }
             "--datasets" => {
                 cfg.datasets = next_value(&mut iter, "--datasets")?
                     .split(',')
@@ -127,9 +135,13 @@ fn run(args: &[String]) -> Result<(), String> {
     let ubg_sweep_datasets = ["D9", "D10"];
     let eev_datasets = ["D1", "D8"];
 
-    let print = |tables: Vec<Table>| {
+    // Every table is both printed and (with --json) collected for the
+    // machine-readable trajectory document.
+    let mut collected: Vec<Table> = Vec::new();
+    let mut print = |tables: Vec<Table>| {
         for t in tables {
             println!("{}", t.render());
+            collected.push(t);
         }
     };
 
@@ -146,13 +158,14 @@ fn run(args: &[String]) -> Result<(), String> {
         "exp7" => print(exp7_paths_vs_edges(&cfg, &eev_datasets)),
         "exp8" => {
             let (table, dot) = exp8_case_study(cfg.seed);
-            println!("{}", table.render());
+            print(vec![table]);
             println!("Graphviz DOT of the case-study tspG:\n{dot}");
         }
         "batch" => print(vec![exp9_batch_throughput(&cfg, threads)]),
         "exp10" | "serve" => print(vec![exp10_serving(&cfg, threads, cache_size)]),
         "exp11" | "envelopes" => print(vec![exp11_envelopes(&cfg, threads)]),
         "exp12" | "frontier" => print(vec![exp12_frontier_sharing(&cfg, threads)]),
+        "exp13" | "server" => print(vec![exp13_server_latency(&cfg, threads)]),
         "all" => {
             print(vec![table1_datasets(&cfg)]);
             print(vec![exp1_response_time(&cfg)]);
@@ -165,14 +178,20 @@ fn run(args: &[String]) -> Result<(), String> {
             print(exp6_eev_vs_enumeration(&cfg, &eev_datasets));
             print(exp7_paths_vs_edges(&cfg, &eev_datasets));
             let (table, dot) = exp8_case_study(cfg.seed);
-            println!("{}", table.render());
+            print(vec![table]);
             println!("Graphviz DOT of the case-study tspG:\n{dot}");
             print(vec![exp9_batch_throughput(&cfg, threads)]);
             print(vec![exp10_serving(&cfg, threads, cache_size)]);
             print(vec![exp11_envelopes(&cfg, threads)]);
             print(vec![exp12_frontier_sharing(&cfg, threads)]);
+            print(vec![exp13_server_latency(&cfg, threads)]);
         }
         other => return Err(format!("unknown subcommand {other:?}")),
+    }
+    if let Some(path) = json_path {
+        std::fs::write(&path, tspg_bench::json::tables_to_json(&collected))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote {} table(s) to {path}", collected.len());
     }
     Ok(())
 }
@@ -189,8 +208,9 @@ fn print_help() {
         "experiments — reproduce the paper's tables and figures\n\n\
          usage: experiments [SUBCOMMAND] [--scale tiny|small|medium] [--queries N]\n\
                 [--datasets D1,D2,...] [--seed N] [--budget-ms N] [--threads N]\n\
-                [--cache-size N]\n\n\
+                [--cache-size N] [--json PATH]\n\n\
          subcommands: all (default), table1, exp1, exp2, exp3, exp4, table2,\n\
-                      exp5, exp5-theta, exp6, exp7, exp8, batch, exp10, exp11, exp12"
+                      exp5, exp5-theta, exp6, exp7, exp8, batch, exp10, exp11,\n\
+                      exp12, exp13"
     );
 }

@@ -1,0 +1,143 @@
+//! Hand-rolled JSON emission for the bench trajectory.
+//!
+//! The build environment has no `serde`, so this module serializes the one
+//! shape CI needs — a list of [`Table`]s — by hand. The output is the
+//! machine-readable face of the experiments binary (`--json PATH`): every
+//! run of the suite appends one artifact to the bench trajectory, so
+//! speedups and run counts can be compared across commits without parsing
+//! aligned-column text.
+//!
+//! Schema (`tspg-bench-tables/1`):
+//!
+//! ```json
+//! {
+//!   "schema": "tspg-bench-tables/1",
+//!   "tables": [
+//!     {"title": "...", "header": ["col", ...], "rows": [["cell", ...], ...]}
+//!   ]
+//! }
+//! ```
+//!
+//! Every cell is a JSON string — the renderer's own formatting (`"3.1x"`,
+//! `"INF"`, `"true"`) is part of the trajectory, and consumers that want
+//! numbers can parse the cells they care about.
+
+use crate::harness::Table;
+use std::fmt::Write as _;
+
+/// Escapes one string for inclusion in a JSON document (RFC 8259 §7).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn string_array(items: &[String]) -> String {
+    let mut out = String::from("[");
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "\"{}\"", escape(item));
+    }
+    out.push(']');
+    out
+}
+
+/// Serializes `tables` as one `tspg-bench-tables/1` document (pretty-printed,
+/// `\n`-terminated, so `python3 -m json.tool` round-trips it cleanly).
+pub fn tables_to_json(tables: &[Table]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"tspg-bench-tables/1\",\n  \"tables\": [");
+    for (i, table) in tables.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\n");
+        let _ = writeln!(out, "      \"title\": \"{}\",", escape(table.title()));
+        let _ = writeln!(out, "      \"header\": {},", string_array(table.header()));
+        out.push_str("      \"rows\": [");
+        for (j, row) in table.rows().iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str("\n        ");
+            out.push_str(&string_array(row));
+        }
+        if table.rows().is_empty() {
+            out.push(']');
+        } else {
+            out.push_str("\n      ]");
+        }
+        out.push_str("\n    }");
+    }
+    if tables.is_empty() {
+        out.push_str("]\n}\n");
+    } else {
+        out.push_str("\n  ]\n}\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_the_specials() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("x\ny\tz"), "x\\ny\\tz");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn tables_serialize_round_trippably() {
+        let mut t = Table::new("demo \"quoted\"", &["a", "b"]);
+        t.push_row(vec!["1.5x".into(), "true".into()]);
+        let json = tables_to_json(&[t]);
+        assert!(json.contains("\"schema\": \"tspg-bench-tables/1\""), "{json}");
+        assert!(json.contains("demo \\\"quoted\\\""), "{json}");
+        assert!(json.contains("[\"1.5x\", \"true\"]"), "{json}");
+        assert!(json.ends_with("}\n"), "{json}");
+
+        // A structural sanity check with no JSON parser available: balanced
+        // braces/brackets outside strings.
+        let mut depth = 0i32;
+        let mut in_string = false;
+        let mut escaped = false;
+        for c in json.chars() {
+            match c {
+                _ if escaped => escaped = false,
+                '\\' if in_string => escaped = true,
+                '"' => in_string = !in_string,
+                '{' | '[' if !in_string => depth += 1,
+                '}' | ']' if !in_string => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0);
+        }
+        assert_eq!(depth, 0);
+        assert!(!in_string);
+    }
+
+    #[test]
+    fn empty_inputs_stay_valid() {
+        let json = tables_to_json(&[]);
+        assert!(json.contains("\"tables\": []"), "{json}");
+        let empty = Table::new("empty", &["a"]);
+        let json = tables_to_json(&[empty]);
+        assert!(json.contains("\"rows\": []"), "{json}");
+    }
+}

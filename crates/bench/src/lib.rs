@@ -19,6 +19,7 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod json;
 
 pub use harness::{
     Algorithm, AlgorithmOutcome, HarnessConfig, PreparedDataset, QueryOutcome, Table,

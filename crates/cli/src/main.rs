@@ -10,6 +10,7 @@
 //! tspg batch <edge-list> <query-file> [--threads N] [--cache-size N]
 //!            [--no-cache] [--envelope-factor K] [--no-envelopes]
 //!            [--envelope-density-cutoff R] [--no-frontier-sharing] [--quiet]
+//! tspg client <query-file> --socket PATH [--stats] [--shutdown] [--quiet]
 //! ```
 //!
 //! The edge-list format is one `src dst timestamp` triple per line (`#` and
@@ -18,8 +19,10 @@
 //! same comment rules.
 
 use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use tspg_baselines::{run_ep, EpAlgorithm};
 use tspg_core::{generate_tspg, CacheConfig, PlannerConfig, QueryEngine, QuerySpec};
 use tspg_datasets::{find, format_queries, generate_workload, parse_queries, Scale};
@@ -54,6 +57,7 @@ fn dispatch(args: &[String]) -> Result<String, String> {
         "paths" => cmd_paths(rest),
         "workload" => cmd_workload(rest),
         "batch" => cmd_batch(rest),
+        "client" => cmd_client(rest),
         other => Err(format!("unknown command {other:?}")),
     }
 }
@@ -70,7 +74,8 @@ fn usage() -> String {
        tspg workload <edge-list> --queries N --theta T [--seed N] [--output FILE]\n\
        tspg batch <edge-list> <query-file> [--threads N] [--cache-size N]\n\
                   [--no-cache] [--envelope-factor K] [--no-envelopes]\n\
-                  [--envelope-density-cutoff R] [--no-frontier-sharing] [--quiet]\n"
+                  [--envelope-density-cutoff R] [--no-frontier-sharing] [--quiet]\n\
+       tspg client <query-file> --socket PATH [--stats] [--shutdown] [--quiet]\n"
         .to_string()
 }
 
@@ -82,9 +87,13 @@ fn parse_flags(args: &[String]) -> Result<(Vec<String>, HashMap<String, String>)
     while let Some(arg) = iter.next() {
         if let Some(name) = arg.strip_prefix("--") {
             let value = match name {
-                "dot" | "quiet" | "no-cache" | "no-envelopes" | "no-frontier-sharing" => {
-                    "true".to_string()
-                }
+                "dot"
+                | "quiet"
+                | "no-cache"
+                | "no-envelopes"
+                | "no-frontier-sharing"
+                | "stats"
+                | "shutdown" => "true".to_string(),
                 _ => iter.next().cloned().ok_or_else(|| format!("--{name} expects a value"))?,
             };
             flags.insert(name.to_string(), value);
@@ -389,6 +398,132 @@ fn cmd_batch(args: &[String]) -> Result<String, String> {
         stats.pipeline_runs(),
         stats.queries,
     ));
+    Ok(out)
+}
+
+/// Speaks the `tspg-server` wire protocol: connects to the socket, pipelines
+/// the whole query file, prints the answers in the same per-query format as
+/// `tspg batch` (so the two outputs can be diffed directly, timings aside).
+fn cmd_client(args: &[String]) -> Result<String, String> {
+    use tspg_server::protocol::{self, Response};
+
+    let (positional, flags) = parse_flags(args)?;
+    let query_path = positional.first().ok_or("client requires a query-file path")?;
+    let socket = required(&flags, "socket")?;
+    let quiet = flags.contains_key("quiet");
+
+    let text = std::fs::read_to_string(query_path)
+        .map_err(|e| format!("cannot read {query_path}: {e}"))?;
+    let queries: Vec<QuerySpec> = parse_queries(&text).map_err(|e| format!("{query_path}: {e}"))?;
+    if queries.is_empty() {
+        return Err(format!("{query_path} contains no queries"));
+    }
+
+    let stream =
+        UnixStream::connect(socket).map_err(|e| format!("cannot connect to {socket}: {e}"))?;
+    let mut reader =
+        BufReader::new(stream.try_clone().map_err(|e| format!("cannot clone connection: {e}"))?);
+    let mut writer = stream;
+    let read_line = |reader: &mut BufReader<UnixStream>| -> Result<String, String> {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).map_err(|e| format!("read from {socket}: {e}"))?;
+        if n == 0 {
+            return Err(format!("{socket}: server closed the connection"));
+        }
+        Ok(line.trim_end().to_string())
+    };
+
+    // Pipeline the whole file, tagging each request with its file index, so
+    // concurrent strangers' queries can share the server's admission batch.
+    let started = Instant::now();
+    let mut request_lines = String::new();
+    for (i, q) in queries.iter().enumerate() {
+        request_lines.push_str(&protocol::format_query(i as u64, q));
+        request_lines.push('\n');
+    }
+    writer
+        .write_all(request_lines.as_bytes())
+        .and_then(|()| writer.flush())
+        .map_err(|e| format!("write to {socket}: {e}"))?;
+
+    // Answers stream back tagged; collect by id so the printout is in file
+    // order even if the server ever reordered replies.
+    let mut answers: Vec<Option<protocol::ResultPayload>> = vec![None; queries.len()];
+    let mut errors: Vec<String> = Vec::new();
+    for _ in 0..queries.len() {
+        let line = read_line(&mut reader)?;
+        match protocol::parse_response(&line).map_err(|e| format!("{socket}: {e}"))? {
+            Response::Result(payload) => {
+                let slot = answers
+                    .get_mut(payload.id as usize)
+                    .ok_or_else(|| format!("{socket}: unexpected request id {}", payload.id))?;
+                *slot = Some(payload);
+            }
+            Response::Error { id, message } => {
+                let tag = id.map_or_else(|| "-".to_string(), |id| id.to_string());
+                errors.push(format!("request {tag}: {message}"));
+            }
+            other => return Err(format!("{socket}: unexpected reply {other:?}")),
+        }
+    }
+    let wall = started.elapsed();
+
+    let mut out = String::new();
+    let mut total_edges = 0u64;
+    for (i, q) in queries.iter().enumerate() {
+        let Some(payload) = &answers[i] else { continue };
+        total_edges += payload.edges.len() as u64;
+        if !quiet {
+            let elapsed = Duration::from_nanos(payload.ns);
+            out.push_str(&format!(
+                "#{i} {}->{} {} edges={} vertices={} time={elapsed:?}\n",
+                q.source,
+                q.target,
+                q.window,
+                payload.edges.len(),
+                payload.vertices,
+            ));
+        }
+    }
+    let answered = answers.iter().filter(|a| a.is_some()).count();
+    out.push_str(&format!(
+        "answered {answered} queries in {wall:?} over {socket} (total tspG edges={total_edges})\n",
+    ));
+    if !errors.is_empty() {
+        return Err(format!(
+            "{} of {} requests failed (first: {})",
+            errors.len(),
+            queries.len(),
+            errors[0]
+        ));
+    }
+
+    if flags.contains_key("stats") {
+        writer
+            .write_all(b"stats\n")
+            .and_then(|()| writer.flush())
+            .map_err(|e| format!("write to {socket}: {e}"))?;
+        loop {
+            let line = read_line(&mut reader)?;
+            if line == "end" {
+                break;
+            }
+            out.push_str(&line);
+            out.push('\n');
+        }
+    }
+
+    if flags.contains_key("shutdown") {
+        writer
+            .write_all(b"shutdown\n")
+            .and_then(|()| writer.flush())
+            .map_err(|e| format!("write to {socket}: {e}"))?;
+        let line = read_line(&mut reader)?;
+        if line != "bye" {
+            return Err(format!("{socket}: expected bye to shutdown, got {line:?}"));
+        }
+        out.push_str("server shutting down\n");
+    }
     Ok(out)
 }
 
@@ -732,6 +867,68 @@ mod tests {
             .unwrap_err();
         assert!(err.contains("--threads"), "{err}");
         std::fs::remove_file(bad_path).ok();
+        std::fs::remove_file(graph_path).ok();
+    }
+
+    #[test]
+    fn client_command_matches_batch_output_and_drives_the_server_verbs() {
+        use tspg_server::{Server, ServerConfig};
+
+        let graph_path = fixture_file();
+        let g = graph_path.to_str().unwrap();
+        let query_path = std::env::temp_dir().join(format!(
+            "tspg_cli_client_{}_{:?}.txt",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        // Duplicates, a contained window and a degenerate query so the
+        // server's sharing machinery has something to do.
+        std::fs::write(&query_path, "0 7 2 7\n0 7 2 7\n0 7 3 6\n4 4 2 7\n7 0 2 7\n").unwrap();
+        let q = query_path.to_str().unwrap();
+
+        let socket = std::env::temp_dir().join(format!(
+            "tspg_cli_client_{}_{:?}.sock",
+            std::process::id(),
+            { std::thread::current().id() }
+        ));
+        let handle = Server::bind(
+            QueryEngine::new(figure1_graph()),
+            &socket,
+            ServerConfig { admit_max: 3, ..ServerConfig::default() },
+        )
+        .unwrap();
+        let s = socket.to_str().unwrap();
+
+        // The per-query lines must match `tspg batch` exactly, timings aside.
+        let strip = |text: &str| -> Vec<String> {
+            text.lines()
+                .filter(|l| l.starts_with('#'))
+                .map(|l| l.split(" time=").next().unwrap().to_string())
+                .collect()
+        };
+        let via_server = dispatch(&args(&["client", q, "--socket", s, "--stats"])).unwrap();
+        let one_shot = dispatch(&args(&["batch", g, q])).unwrap();
+        assert_eq!(strip(&via_server), strip(&one_shot));
+        assert_eq!(strip(&via_server).len(), 5);
+        assert!(via_server.contains("answered 5 queries"), "{via_server}");
+        // --stats appends the server's key=value dump.
+        assert!(via_server.contains("dedup_answered=1"), "{via_server}");
+        assert!(via_server.contains("\nbatches="), "{via_server}");
+
+        // --quiet keeps the aggregate line only; --shutdown stops the server.
+        let quiet =
+            dispatch(&args(&["client", q, "--socket", s, "--quiet", "--shutdown"])).unwrap();
+        assert_eq!(quiet.lines().count(), 2, "{quiet}");
+        assert!(quiet.ends_with("server shutting down\n"), "{quiet}");
+        let report = handle.join();
+        assert_eq!(report.totals.queries, 10);
+        assert!(!socket.exists(), "socket must be unlinked after shutdown");
+
+        // A dead socket is a clean error, not a hang.
+        let err = dispatch(&args(&["client", q, "--socket", s])).unwrap_err();
+        assert!(err.contains("cannot connect"), "{err}");
+
+        std::fs::remove_file(query_path).ok();
         std::fs::remove_file(graph_path).ok();
     }
 

@@ -67,6 +67,23 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
+    /// Snapshot of every counter as `(name, value)` pairs for `key=value`
+    /// surfaces (the `tspg-server` `stats` verb). The names carry a
+    /// `cache_` prefix — and the lookup counters a `_lookup_` infix — so
+    /// they never collide with [`super::BatchStats::key_values`]' names
+    /// (whose `cache_hits` counts queries answered from the cache, the same
+    /// quantity `cache_lookup_hits` counts from the cache's side).
+    pub fn key_values(&self) -> [(&'static str, u64); 6] {
+        [
+            ("cache_lookup_hits", self.hits),
+            ("cache_lookup_misses", self.misses),
+            ("cache_insertions", self.insertions),
+            ("cache_evictions", self.evictions),
+            ("cache_entries", self.entries as u64),
+            ("cache_bytes", self.bytes as u64),
+        ]
+    }
+
     /// Hit rate in `[0, 1]`; 0 when no lookups happened yet.
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;

@@ -1,4 +1,4 @@
-//! Work-stealing execution of a [`BatchPlan`](crate::engine::planner::BatchPlan)
+//! Work-stealing execution of a [`BatchPlan`]
 //! with individually claimable followers.
 //!
 //! PR 2's `run_batch` split the query list into contiguous chunks, one per

@@ -123,7 +123,7 @@ pub fn generate_tspg(
 /// Generates the temporal simple path graph with an explicit configuration.
 ///
 /// This is the one-shot face of the pipeline: it runs
-/// [`crate::engine::generate_tspg_scratch`] with a cold [`QueryScratch`].
+/// `generate_tspg_scratch` with a cold [`QueryScratch`].
 /// Callers answering many queries over one graph should use
 /// [`crate::QueryEngine`] instead, which reuses the scratch across the
 /// batch.

@@ -1,0 +1,297 @@
+//! The line-oriented wire protocol shared by `tspg-server` and the
+//! `tspg client` subcommand.
+//!
+//! Every message is one `\n`-terminated line of UTF-8 text; there is no
+//! framing beyond that, so the protocol works over any reliable byte
+//! stream (the server speaks it over a unix domain socket). Grammar:
+//!
+//! ```text
+//! request  := "query" SP id SP source SP target SP begin SP end
+//!           | "stats" | "ping" | "shutdown"
+//! response := "result" SP id SP "edges=" E SP "vertices=" V SP "ns=" NS
+//!                      {SP src "," dst "," time}
+//!           | "error" SP (id | "-") SP message
+//!           | "pong" | "bye"
+//! ```
+//!
+//! `id` is a client-chosen `u64` request tag; responses echo it so a client
+//! may pipeline any number of requests (up to the server's per-client
+//! quota) and match answers as they stream back. A `result` line carries
+//! the full tspG as `src,dst,time` triples in the engine's canonical edge
+//! order — byte-identity against a local [`tspg_core::QueryEngine`] run is
+//! checked by comparing the triples, nothing weaker. The `stats` verb is
+//! answered with `key=value` lines terminated by a bare `end` line (not
+//! modelled here; see the crate docs for the key glossary).
+
+use std::fmt::Write as _;
+use tspg_core::{QuerySpec, VugResult};
+use tspg_graph::TemporalEdge;
+
+/// A parsed client request line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// `query <id> <source> <target> <begin> <end>` — enqueue one query
+    /// for the next admission batch.
+    Query {
+        /// Client-chosen request tag echoed on the response line.
+        id: u64,
+        /// The query quadruple, in canonical form.
+        query: QuerySpec,
+    },
+    /// `stats` — dump the server's counters as `key=value` lines.
+    Stats,
+    /// `ping` — liveness probe, answered with `pong`.
+    Ping,
+    /// `shutdown` — graceful shutdown: drain the admission queue, answer
+    /// everything pending, unlink the socket, exit 0.
+    Shutdown,
+}
+
+/// Parses one request line.
+///
+/// On failure returns the request id when one could still be extracted
+/// (so the error reply can be tagged and the client can match it to the
+/// request it pipelined) plus a human-readable message.
+pub fn parse_request(line: &str) -> Result<Request, (Option<u64>, String)> {
+    let mut fields = line.split_whitespace();
+    let verb = fields.next().ok_or_else(|| (None, "empty request".to_string()))?;
+    match verb {
+        "stats" => Ok(Request::Stats),
+        "ping" => Ok(Request::Ping),
+        "shutdown" => Ok(Request::Shutdown),
+        "query" => {
+            let id: u64 = fields
+                .next()
+                .and_then(|f| f.parse().ok())
+                .ok_or_else(|| (None, "query needs a numeric request id".to_string()))?;
+            let mut field = |what: &str| -> Result<i64, (Option<u64>, String)> {
+                let raw = fields.next().ok_or_else(|| (Some(id), format!("missing {what}")))?;
+                raw.parse().map_err(|_| (Some(id), format!("invalid {what} {raw:?}")))
+            };
+            let source = field("source vertex")?;
+            let target = field("target vertex")?;
+            let begin = field("window begin")?;
+            let end = field("window end")?;
+            if let Some(extra) = fields.next() {
+                return Err((Some(id), format!("too many fields (unexpected {extra:?})")));
+            }
+            let (source, target) = match (u32::try_from(source), u32::try_from(target)) {
+                (Ok(s), Ok(t)) => (s, t),
+                _ => return Err((Some(id), "vertex ids must be non-negative u32".to_string())),
+            };
+            let query = QuerySpec::try_new(source, target, begin, end)
+                .ok_or_else(|| (Some(id), format!("invalid interval [{begin}, {end}]")))?;
+            Ok(Request::Query { id, query })
+        }
+        other => Err((None, format!("unknown verb {other:?}"))),
+    }
+}
+
+/// Formats one `query` request line (the client side of
+/// [`parse_request`]).
+pub fn format_query(id: u64, query: &QuerySpec) -> String {
+    format!(
+        "query {id} {} {} {} {}",
+        query.source,
+        query.target,
+        query.window.begin(),
+        query.window.end()
+    )
+}
+
+/// A parsed server response line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// A query's answer: the tspG shipped as edge triples.
+    Result(ResultPayload),
+    /// An error reply, tagged with the request id when the offending line
+    /// carried a parseable one.
+    Error {
+        /// The request the error answers, if identifiable.
+        id: Option<u64>,
+        /// Human-readable description.
+        message: String,
+    },
+    /// Answer to `ping`.
+    Pong,
+    /// Answer to `shutdown`: the server is draining and about to exit.
+    Bye,
+}
+
+/// The payload of a `result` line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResultPayload {
+    /// Echo of the request id.
+    pub id: u64,
+    /// Vertices of the tspG (shipped because the edge triples alone do not
+    /// reveal it for the empty graph).
+    pub vertices: usize,
+    /// Pipeline time of the run that produced this answer, in nanoseconds.
+    /// Answers copied from a duplicate, the cache or a covering unit carry
+    /// the producing run's time, mirroring `tspg batch` output.
+    pub ns: u64,
+    /// The tspG's edges in the engine's canonical order.
+    pub edges: Vec<TemporalEdge>,
+}
+
+/// Formats one `result` response line from an engine answer.
+pub fn format_result(id: u64, result: &VugResult) -> String {
+    let mut line = format!(
+        "result {id} edges={} vertices={} ns={}",
+        result.tspg.num_edges(),
+        result.report.result_vertices,
+        u64::try_from(result.report.total_elapsed().as_nanos()).unwrap_or(u64::MAX),
+    );
+    for e in result.tspg.edges() {
+        let _ = write!(line, " {},{},{}", e.src, e.dst, e.time);
+    }
+    line
+}
+
+/// Formats an `error` response line; `id = None` renders the `-` tag.
+pub fn format_error(id: Option<u64>, message: &str) -> String {
+    match id {
+        Some(id) => format!("error {id} {message}"),
+        None => format!("error - {message}"),
+    }
+}
+
+/// Parses one response line (the client side of [`format_result`] and
+/// friends).
+pub fn parse_response(line: &str) -> Result<Response, String> {
+    let mut fields = line.split_whitespace();
+    match fields.next().ok_or_else(|| "empty response".to_string())? {
+        "pong" => Ok(Response::Pong),
+        "bye" => Ok(Response::Bye),
+        "error" => {
+            let tag = fields.next().ok_or_else(|| "error line without id tag".to_string())?;
+            let id = if tag == "-" {
+                None
+            } else {
+                Some(tag.parse().map_err(|_| format!("bad error id tag {tag:?}"))?)
+            };
+            let rest: Vec<&str> = fields.collect();
+            Ok(Response::Error { id, message: rest.join(" ") })
+        }
+        "result" => {
+            let id: u64 = fields
+                .next()
+                .and_then(|f| f.parse().ok())
+                .ok_or_else(|| "result line without request id".to_string())?;
+            let mut kv = |key: &str| -> Result<u64, String> {
+                let raw = fields.next().ok_or_else(|| format!("result missing {key}="))?;
+                raw.strip_prefix(key)
+                    .and_then(|r| r.strip_prefix('='))
+                    .and_then(|r| r.parse().ok())
+                    .ok_or_else(|| format!("bad result field {raw:?} (expected {key}=N)"))
+            };
+            let num_edges = kv("edges")?;
+            let vertices = kv("vertices")? as usize;
+            let ns = kv("ns")?;
+            let mut edges = Vec::with_capacity(num_edges as usize);
+            for triple in fields.by_ref() {
+                let mut parts = triple.split(',');
+                let mut part = |what: &str| -> Result<i64, String> {
+                    parts
+                        .next()
+                        .and_then(|p| p.parse().ok())
+                        .ok_or_else(|| format!("bad edge triple {triple:?} ({what})"))
+                };
+                let src = part("src")?;
+                let dst = part("dst")?;
+                let time = part("time")?;
+                if parts.next().is_some() {
+                    return Err(format!("bad edge triple {triple:?} (too many fields)"));
+                }
+                let (Ok(src), Ok(dst)) = (u32::try_from(src), u32::try_from(dst)) else {
+                    return Err(format!("bad edge triple {triple:?} (vertex out of range)"));
+                };
+                edges.push(TemporalEdge::new(src, dst, time));
+            }
+            if edges.len() as u64 != num_edges {
+                return Err(format!(
+                    "result {id} announced edges={num_edges} but carried {}",
+                    edges.len()
+                ));
+            }
+            Ok(Response::Result(ResultPayload { id, vertices, ns, edges }))
+        }
+        other => Err(format!("unknown response verb {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tspg_core::generate_tspg;
+    use tspg_graph::fixtures::{figure1_graph, figure1_query};
+
+    #[test]
+    fn request_round_trip() {
+        let q = QuerySpec::new(3, 9, tspg_graph::TimeInterval::new(2, 7));
+        let line = format_query(17, &q);
+        assert_eq!(line, "query 17 3 9 2 7");
+        assert_eq!(parse_request(&line), Ok(Request::Query { id: 17, query: q }));
+        assert_eq!(parse_request("stats"), Ok(Request::Stats));
+        assert_eq!(parse_request("ping"), Ok(Request::Ping));
+        assert_eq!(parse_request("shutdown"), Ok(Request::Shutdown));
+    }
+
+    #[test]
+    fn degenerate_queries_parse_canonically() {
+        // `s == t` canonicalizes at construction, exactly like query files.
+        let parsed = parse_request("query 1 4 4 2 9").unwrap();
+        let Request::Query { query, .. } = parsed else { panic!("not a query") };
+        assert!(query.is_degenerate());
+    }
+
+    #[test]
+    fn malformed_requests_carry_the_id_when_parseable() {
+        assert_eq!(parse_request("").unwrap_err().0, None);
+        assert_eq!(parse_request("frobnicate 1 2").unwrap_err().0, None);
+        assert_eq!(parse_request("query nope 1 2 3 4").unwrap_err().0, None);
+        assert_eq!(parse_request("query 7 1 2 3").unwrap_err().0, Some(7));
+        assert_eq!(parse_request("query 7 1 2 3 bogus").unwrap_err().0, Some(7));
+        assert_eq!(parse_request("query 7 1 2 3 4 5").unwrap_err().0, Some(7));
+        assert_eq!(parse_request("query 7 1 2 9 3").unwrap_err().0, Some(7));
+        assert_eq!(parse_request("query 7 -1 2 3 4").unwrap_err().0, Some(7));
+    }
+
+    #[test]
+    fn result_round_trip_preserves_the_tspg_bit_for_bit() {
+        let g = figure1_graph();
+        let (s, t, w) = figure1_query();
+        let result = generate_tspg(&g, s, t, w);
+        let line = format_result(42, &result);
+        let Response::Result(payload) = parse_response(&line).unwrap() else {
+            panic!("not a result");
+        };
+        assert_eq!(payload.id, 42);
+        assert_eq!(payload.edges, result.tspg.edges());
+        assert_eq!(payload.vertices, result.report.result_vertices);
+
+        // Empty results ship no triples but still announce their counts.
+        let empty = generate_tspg(&g, t, s, w);
+        let Response::Result(payload) = parse_response(&format_result(0, &empty)).unwrap() else {
+            panic!("not a result");
+        };
+        assert!(payload.edges.is_empty());
+    }
+
+    #[test]
+    fn error_and_control_responses_parse() {
+        assert_eq!(
+            parse_response(&format_error(Some(3), "quota exceeded")).unwrap(),
+            Response::Error { id: Some(3), message: "quota exceeded".to_string() }
+        );
+        assert_eq!(
+            parse_response(&format_error(None, "unknown verb")).unwrap(),
+            Response::Error { id: None, message: "unknown verb".to_string() }
+        );
+        assert_eq!(parse_response("pong").unwrap(), Response::Pong);
+        assert_eq!(parse_response("bye").unwrap(), Response::Bye);
+        assert!(parse_response("result 1 edges=2 vertices=1 ns=5 0,1,2").is_err());
+        assert!(parse_response("result 1 edges=1 vertices=1 ns=5 0,1").is_err());
+        assert!(parse_response("nonsense").is_err());
+    }
+}

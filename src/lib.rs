@@ -13,6 +13,8 @@
 //! * [`enumeration`] — temporal simple path enumeration ([`tspg_enum`]).
 //! * [`baselines`] — `EPdtTSG` / `EPesTSG` / `EPtgTSG` ([`tspg_baselines`]).
 //! * [`core`] — the VUG algorithm ([`tspg_core`]).
+//! * [`server`] — resident unix-socket server with admission
+//!   micro-batching ([`tspg_server`]).
 //!
 //! The most common entry point is re-exported at the top level:
 //!
@@ -33,6 +35,7 @@ pub use tspg_core as core;
 pub use tspg_datasets as datasets;
 pub use tspg_enum as enumeration;
 pub use tspg_graph as graph;
+pub use tspg_server as server;
 
 /// Convenient glob import for examples, tests and quick experiments.
 pub mod prelude {

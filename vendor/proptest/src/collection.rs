@@ -1,4 +1,4 @@
-//! Collection strategies (only [`vec`] is provided).
+//! Collection strategies (only [`vec()`] is provided).
 
 use crate::strategy::Strategy;
 use rand::rngs::StdRng;
@@ -12,7 +12,7 @@ pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
     VecStrategy { element, size }
 }
 
-/// Strategy returned by [`vec`].
+/// Strategy returned by [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,
