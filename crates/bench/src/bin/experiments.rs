@@ -36,6 +36,8 @@
 //!                               machine-readable bench trajectory)
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 use std::time::Duration;
 use tspg_bench::experiments::*;

@@ -18,6 +18,8 @@
 //! files hold one `source target begin end` quadruple per line with the
 //! same comment rules.
 
+#![forbid(unsafe_code)]
+
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::UnixStream;

@@ -254,6 +254,8 @@ impl ResultCache {
     /// Looks up the result of a canonical query, refreshing its recency.
     pub fn get(&self, key: &QuerySpec) -> Option<VugResult> {
         let result = self.shard(key).lock().ok()?.get(key);
+        // relaxed: hit/miss tallies are pure statistics — no reader orders
+        // other memory against them.
         match result {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -270,6 +272,8 @@ impl ResultCache {
         let (inserted, evicted) =
             shard.insert(key, value, bytes, self.max_entries_per_shard, self.max_bytes_per_shard);
         drop(shard);
+        // relaxed: insertion/eviction tallies are pure statistics; the
+        // cached data itself is published by the shard mutex above.
         if inserted {
             self.insertions.fetch_add(1, Ordering::Relaxed);
         }
@@ -287,6 +291,8 @@ impl ResultCache {
                 bytes += shard.bytes;
             }
         }
+        // relaxed: a stats snapshot tolerates torn reads across counters;
+        // each counter individually is just a monotone tally.
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),

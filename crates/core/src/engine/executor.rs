@@ -84,6 +84,7 @@ impl SharedTspg {
         // Every tspG edge lies on a temporal simple s→t path, so a
         // non-empty tspG always contains both endpoints.
         let compact = |v: VertexId| -> VertexId {
+            // tspg-lint: allow(no-panic-in-server) — unreachable by the invariant above
             originals.binary_search(&v).expect("tspG contains its endpoints") as VertexId
         };
         let (source, target) = (compact(unit_query.source), compact(unit_query.target));
@@ -163,6 +164,9 @@ pub(crate) fn execute(engine: &QueryEngine, plan: &BatchPlan, threads: usize) ->
             })
             .collect();
         for handle in handles {
+            // Propagating a worker panic (rather than swallowing it and
+            // returning partial outcomes) is the intended behavior here.
+            // tspg-lint: allow(no-panic-in-server)
             handle.join().expect("executor worker panicked");
         }
     });
@@ -272,6 +276,8 @@ impl<'p> WorkPool<'p> {
     /// none are outstanding.
     fn work(&self, engine: &QueryEngine, scratch: &mut QueryScratch) {
         loop {
+            // relaxed: the cursor only hands out distinct indices; result
+            // publication is ordered by the OnceLock slots, not the cursor.
             let index = self.unit_cursor.fetch_add(1, Ordering::Relaxed);
             let Some(unit) = self.units.get(index) else { break };
             let main = match self.frontiers.for_unit(index) {
@@ -311,6 +317,10 @@ impl<'p> WorkPool<'p> {
     /// Scans every published unit for unclaimed followers and runs all it
     /// can claim. Returns whether any follower was executed.
     fn steal_followers(&self, engine: &QueryEngine, scratch: &mut QueryScratch) -> bool {
+        // relaxed: follower cursors only partition claims between workers;
+        // each claimed result is published via its OnceLock slot, and the
+        // drain condition rides on `outstanding_followers` (Release above,
+        // Acquire in `work`), not on cursor ordering.
         let mut progressed = false;
         for (index, unit) in self.units.iter().enumerate() {
             if unit.followers.is_empty()
@@ -339,10 +349,12 @@ impl<'p> WorkPool<'p> {
             .iter()
             .zip(self.mains)
             .map(|(unit, main)| UnitOutcome {
+                // tspg-lint: allow(no-panic-in-server) — see the doc comment: slots are full post-join
                 main: main.into_inner().expect("the unit cursor visits every unit"),
                 followers: follower_results
                     .by_ref()
                     .take(unit.followers.len())
+                    // tspg-lint: allow(no-panic-in-server) — same post-join invariant
                     .map(|slot| slot.into_inner().expect("every follower is claimed and run"))
                     .collect(),
             })

@@ -1,0 +1,21 @@
+//! Seeded `hot-alloc` violation: an allocating constructor inside a
+//! `*_into` hot-path function. The CI smoke step asserts `tspg-lint`
+//! exits nonzero on this tree.
+
+/// Hot-path function that illegally allocates (two findings expected).
+pub fn compute_polarity_into(out: &mut Vec<u32>) {
+    let scratch = Vec::new();
+    out.extend(scratch.iter().map(|x: &u32| *x));
+    let _owned: Vec<u32> = out.iter().copied().collect();
+}
+
+/// A deliberate, justified exception: suppressed, must NOT be reported.
+pub fn seed_buffers_into(out: &mut Vec<Vec<u32>>) {
+    // tspg-lint: allow(hot-alloc) — one-time warmup allocation, not steady state
+    out.push(Vec::with_capacity(16));
+}
+
+/// Not a hot-path name: free to allocate (no finding).
+pub fn build_table() -> Vec<u32> {
+    vec![1, 2, 3]
+}

@@ -1,0 +1,23 @@
+//! Seeded `no-panic-in-server` violations: panicking constructs in
+//! non-test serving code.
+
+/// Unwraps and panics in serving code (three findings expected).
+pub fn handle(shared: &Shared) {
+    let _guard = shared.totals.lock().unwrap();
+    let _count = shared.pending.front().expect("queue is never empty");
+    panic!("unreachable request state");
+}
+
+/// Explicit poison recovery: the sanctioned pattern (no finding).
+pub fn handle_fixed(shared: &Shared) {
+    let _guard = shared.totals.lock().unwrap_or_else(PoisonError::into_inner);
+}
+
+#[cfg(test)]
+mod tests {
+    /// Tests may unwrap freely (no finding).
+    #[test]
+    fn asserts_hard() {
+        helper().unwrap();
+    }
+}

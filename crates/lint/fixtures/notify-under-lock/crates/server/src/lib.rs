@@ -1,0 +1,18 @@
+//! Seeded `notify-under-lock` violation: the exact lost-wakeup shape —
+//! the guard dies with the `if let` block, then the notify runs with no
+//! lock held.
+
+/// Enqueue-and-wake with the notify outside the guard (one finding).
+pub fn enqueue_bug(shared: &Shared, pending: Pending) {
+    if let Ok(mut queue) = shared.admission.lock() {
+        queue.push_back(pending);
+    }
+    shared.admit_cv.notify_all();
+}
+
+/// The corrected shape: notify while the guard is live (no finding).
+pub fn enqueue_fixed(shared: &Shared, pending: Pending) {
+    let mut queue = shared.admission.lock().unwrap_or_else(recover);
+    queue.push_back(pending);
+    shared.admit_cv.notify_all();
+}

@@ -1,0 +1,25 @@
+//! Seeded `relaxed-justified` violations: an unjustified
+//! `Ordering::Relaxed` and an uncommented `unsafe` block.
+
+/// Bumps a counter with no recorded justification (one finding).
+pub fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+/// One `// relaxed:` comment covers the whole function (no findings).
+pub fn bump_justified(counter: &AtomicU64, other: &AtomicU64) {
+    // relaxed: pure statistics — no reader orders other memory against these
+    counter.fetch_add(1, Ordering::Relaxed);
+    other.fetch_add(1, Ordering::Relaxed);
+}
+
+/// An `unsafe` block without a SAFETY comment (one finding).
+pub fn read_raw(ptr: *const u8) -> u8 {
+    unsafe { ptr.read() }
+}
+
+/// The documented form (no finding).
+pub fn read_raw_documented(ptr: *const u8) -> u8 {
+    // SAFETY: ptr is non-null and aligned by the caller's contract
+    unsafe { ptr.read() }
+}

@@ -1,0 +1,10 @@
+//! Seeded `stats-glossary-sync` violation: `key_values` emits a counter
+//! key the fixture README never documents.
+
+impl BatchStats {
+    /// Counter pairs for the `stats` verb; `ghost_counter` is missing
+    /// from README.md (one finding).
+    pub fn key_values(&self) -> Vec<(&'static str, u64)> {
+        vec![("queries", self.queries), ("ghost_counter", self.ghost)]
+    }
+}

@@ -1,0 +1,162 @@
+//! `no-panic-in-server`: serving code must not be able to panic.
+//!
+//! A panic in the resident server or the executor's worker threads tears
+//! down a thread mid-request (or poisons a shared lock) instead of
+//! degrading gracefully. Non-test code in `crates/server` and in the
+//! engine executor must therefore avoid `.unwrap()` / `.expect()` /
+//! `panic!`-family macros — including the implicit panic of
+//! `lock().unwrap()` on a poisoned mutex, which should use
+//! `unwrap_or_else(PoisonError::into_inner)` instead.
+//!
+//! Genuinely unreachable cases may be annotated with a
+//! `// tspg-lint: allow(no-panic-in-server)` pragma stating the invariant.
+
+use crate::diagnostics::Diagnostic;
+use crate::tokens::TokenKind;
+use crate::{LintContext, SourceFile};
+
+use super::Rule;
+
+/// Methods that panic on the failure variant. `unwrap_or_else` and
+/// friends are distinct identifiers and do not match.
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+
+/// Macros that always panic when reached.
+const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented", "unreachable"];
+
+/// See the module docs.
+pub struct NoPanicInServer;
+
+/// True for files on the serving path: the whole server crate plus the
+/// engine executor (whose worker threads serve query batches).
+fn in_scope(rel_path: &str) -> bool {
+    rel_path.starts_with("crates/server/src/") || rel_path == "crates/core/src/engine/executor.rs"
+}
+
+impl Rule for NoPanicInServer {
+    fn name(&self) -> &'static str {
+        "no-panic-in-server"
+    }
+
+    fn description(&self) -> &'static str {
+        "unwrap/expect/panic! in non-test server or executor code"
+    }
+
+    fn check(&self, ctx: &LintContext) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for file in &ctx.files {
+            if !in_scope(&file.rel_path) {
+                continue;
+            }
+            scan_file(file, &mut out);
+        }
+        out
+    }
+}
+
+fn scan_file(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let code = &file.code;
+    for j in 0..code.len() {
+        let tok = &code[j];
+        if tok.is_punct(".")
+            && code.get(j + 1).is_some_and(|t| {
+                t.kind == TokenKind::Ident && PANIC_METHODS.contains(&t.text.as_str())
+            })
+            && code.get(j + 2).is_some_and(|t| t.is_punct("("))
+        {
+            if !file.in_test(j) {
+                let name = &code[j + 1];
+                out.push(file.diag(
+                    name,
+                    "no-panic-in-server",
+                    format!(
+                        "`.{}()` can panic in serving code — handle the \
+                         failure (for lock poisoning: \
+                         `unwrap_or_else(PoisonError::into_inner)`)",
+                        name.text
+                    ),
+                ));
+            }
+        } else if tok.kind == TokenKind::Ident
+            && PANIC_MACROS.contains(&tok.text.as_str())
+            && code.get(j + 1).is_some_and(|t| t.is_punct("!"))
+            && !file.in_test(j)
+        {
+            out.push(file.diag(
+                tok,
+                "no-panic-in-server",
+                format!("`{}!` in serving code — return an error instead", tok.text),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SourceFile;
+
+    fn findings(rel: &str, src: &str) -> Vec<Diagnostic> {
+        let file = SourceFile::new(rel.into(), src.into());
+        let mut out = Vec::new();
+        if in_scope(&file.rel_path) {
+            scan_file(&file, &mut out);
+        }
+        out
+    }
+
+    #[test]
+    fn unwrap_expect_and_panic_macros_are_flagged() {
+        let out = findings(
+            "crates/server/src/lib.rs",
+            "fn f(m: &Mutex<u32>) {\n\
+                 let g = m.lock().unwrap();\n\
+                 let h = m.lock().expect(\"poisoned\");\n\
+                 panic!(\"boom\");\n\
+                 unreachable!();\n\
+             }\n",
+        );
+        assert_eq!(out.len(), 4, "{out:?}");
+    }
+
+    #[test]
+    fn unwrap_or_else_is_not_unwrap() {
+        let out = findings(
+            "crates/server/src/lib.rs",
+            "fn f(m: &Mutex<u32>) {\n\
+                 let g = m.lock().unwrap_or_else(PoisonError::into_inner);\n\
+                 let d = x.unwrap_or_default();\n\
+             }\n",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn asserts_are_allowed() {
+        let out = findings(
+            "crates/server/src/lib.rs",
+            "fn f(x: u32) { assert!(x > 0); debug_assert_eq!(x, 1); }\n",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn test_code_and_out_of_scope_files_are_exempt() {
+        let out = findings(
+            "crates/server/src/lib.rs",
+            "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x.unwrap(); }\n}\n",
+        );
+        assert!(out.is_empty(), "{out:?}");
+        let out = findings("crates/core/src/engine/mod.rs", "fn f() { x.unwrap(); }\n");
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn executor_is_in_scope() {
+        let out = findings(
+            "crates/core/src/engine/executor.rs",
+            "fn f() { handle.join().expect(\"worker panicked\"); }\n",
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+    }
+}

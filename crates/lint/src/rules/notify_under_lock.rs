@@ -1,0 +1,231 @@
+//! `notify-under-lock`: `Condvar::notify_*` must run while the paired
+//! `Mutex` guard is live.
+//!
+//! This is the exact bug class the resident server shipped once: a
+//! `notify_all()` issued after the guard was dropped can interleave with a
+//! waiter between its predicate check and its `wait()`, losing the wakeup.
+//! The fix (and the discipline this rule enforces) is to notify while the
+//! guard is still held.
+//!
+//! The analysis is lexical, so "guard is live" is approximated with a
+//! brace-frame stack: a `.lock()` / `.wait*()` call marks the block it
+//! binds its guard into, and a notify is accepted only when some enclosing
+//! marked block is still open. A lock acquired inside an `if` / `while` /
+//! `match` header (`if let Ok(g) = m.lock() { … }`) scopes its guard to
+//! the block the header opens — notifying *after* that block is exactly
+//! the lost-wakeup shape and is flagged.
+
+use crate::diagnostics::Diagnostic;
+use crate::tokens::TokenKind;
+use crate::{LintContext, SourceFile};
+
+use super::Rule;
+
+/// Guard-producing calls: acquiring a lock or re-acquiring it from a wait.
+const LOCK_CALLS: &[&str] = &["lock", "try_lock", "wait", "wait_timeout", "wait_while"];
+
+/// The Condvar wakeup calls.
+const NOTIFY_CALLS: &[&str] = &["notify_one", "notify_all"];
+
+/// Keywords whose headers scope a guard to the block they open.
+const COND_KEYWORDS: &[&str] = &["if", "while", "match"];
+
+/// See the module docs.
+pub struct NotifyUnderLock;
+
+impl Rule for NotifyUnderLock {
+    fn name(&self) -> &'static str {
+        "notify-under-lock"
+    }
+
+    fn description(&self) -> &'static str {
+        "Condvar notify_* outside a live guard of the paired Mutex in crates/server"
+    }
+
+    fn check(&self, ctx: &LintContext) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for file in &ctx.files {
+            if !file.rel_path.starts_with("crates/server/src/") {
+                continue;
+            }
+            scan_file(file, &mut out);
+        }
+        out
+    }
+}
+
+fn scan_file(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let code = &file.code;
+    // One locked-flag per open brace frame; index 0 is a synthetic
+    // file-level frame so top-level token runs never underflow.
+    let mut frames: Vec<bool> = vec![false];
+    // A cond keyword was seen since the last statement boundary, so a
+    // lock call now belongs to the upcoming block, not the current one.
+    let mut cond_pending = false;
+    let mut lock_for_next_frame = false;
+    for j in 0..code.len() {
+        let tok = &code[j];
+        match tok.kind {
+            TokenKind::Ident if COND_KEYWORDS.contains(&tok.text.as_str()) => {
+                cond_pending = true;
+            }
+            TokenKind::Punct if tok.text == "{" => {
+                frames.push(lock_for_next_frame);
+                lock_for_next_frame = false;
+                cond_pending = false;
+            }
+            TokenKind::Punct if tok.text == "}" => {
+                if frames.len() > 1 {
+                    frames.pop();
+                }
+                cond_pending = false;
+            }
+            TokenKind::Punct if tok.text == ";" => {
+                cond_pending = false;
+            }
+            TokenKind::Punct if tok.text == "." => {
+                let Some(name) = code.get(j + 1) else { continue };
+                if name.kind != TokenKind::Ident
+                    || !code.get(j + 2).is_some_and(|t| t.is_punct("("))
+                {
+                    continue;
+                }
+                if LOCK_CALLS.contains(&name.text.as_str()) {
+                    if cond_pending {
+                        lock_for_next_frame = true;
+                    } else if let Some(top) = frames.last_mut() {
+                        *top = true;
+                    }
+                } else if NOTIFY_CALLS.contains(&name.text.as_str())
+                    && !frames.iter().any(|&locked| locked)
+                    && !file.in_test(j)
+                {
+                    out.push(file.diag(
+                        name,
+                        "notify-under-lock",
+                        format!(
+                            "`{}()` with no live guard of the paired Mutex in \
+                             scope — notify while holding the lock, or a \
+                             waiter can miss the wakeup",
+                            name.text
+                        ),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SourceFile;
+
+    fn findings(src: &str) -> Vec<Diagnostic> {
+        let file = SourceFile::new("crates/server/src/lib.rs".into(), src.into());
+        let mut out = Vec::new();
+        scan_file(&file, &mut out);
+        out
+    }
+
+    #[test]
+    fn notify_after_if_let_lock_block_is_flagged() {
+        // The shape of the original lost-wakeup bug: the guard dies with
+        // the `if let` block, then the notify runs unprotected.
+        let out = findings(
+            "fn reader(shared: &Shared) {\n\
+                 if let Ok(mut queue) = shared.admission.lock() {\n\
+                     queue.push_back(1);\n\
+                 }\n\
+                 shared.admit_cv.notify_all();\n\
+             }\n",
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 5);
+    }
+
+    #[test]
+    fn notify_inside_guard_block_is_accepted() {
+        let out = findings(
+            "fn shutdown(&self) {\n\
+                 {\n\
+                     let _queue = self.admission.lock();\n\
+                     self.admit_cv.notify_all();\n\
+                 }\n\
+             }\n",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn notify_under_straight_line_guard_is_accepted() {
+        let out = findings(
+            "fn push(shared: &Shared) {\n\
+                 let mut queue = shared.admission.lock().unwrap_or_else(recover);\n\
+                 queue.push_back(1);\n\
+                 shared.admit_cv.notify_all();\n\
+             }\n",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn notify_inside_match_arm_of_lock_scrutinee_is_accepted() {
+        let out = findings(
+            "fn push(shared: &Shared) {\n\
+                 match shared.admission.lock() {\n\
+                     Ok(mut queue) => {\n\
+                         queue.push_back(1);\n\
+                         shared.admit_cv.notify_all();\n\
+                     }\n\
+                     Err(_) => {}\n\
+                 }\n\
+             }\n",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn notify_in_else_branch_is_flagged() {
+        // The else branch runs with the guard never having been acquired.
+        let out = findings(
+            "fn push(shared: &Shared) {\n\
+                 if let Ok(mut queue) = shared.admission.lock() {\n\
+                     queue.push_back(1);\n\
+                 } else {\n\
+                     shared.admit_cv.notify_all();\n\
+                 }\n\
+             }\n",
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+    }
+
+    #[test]
+    fn wait_loop_reacquired_guard_counts() {
+        let out = findings(
+            "fn drain(shared: &Shared) {\n\
+                 let mut queue = shared.admission.lock().unwrap();\n\
+                 while queue.is_empty() {\n\
+                     queue = shared.admit_cv.wait(queue).unwrap();\n\
+                 }\n\
+                 shared.admit_cv.notify_one();\n\
+             }\n",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn bare_notify_with_no_lock_anywhere_is_flagged() {
+        let out = findings("fn wake(cv: &Condvar) { cv.notify_all(); }\n");
+        assert_eq!(out.len(), 1, "{out:?}");
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let out = findings(
+            "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { CV.notify_all(); }\n}\n",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

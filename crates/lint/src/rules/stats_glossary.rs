@@ -1,0 +1,203 @@
+//! `stats-glossary-sync`: the README stats glossary must cover every
+//! counter key the code emits.
+//!
+//! Counter keys are born in three places — `BatchStats::key_values`,
+//! `CacheStats::key_values` (both in `tspg-core`) and the server `stats`
+//! verb's `stats_text` — and documented in one (README.md's stats
+//! glossary). This cross-file rule extracts the emitted key literals and
+//! requires each to appear in the README as an inline-code span
+//! (`` `key` ``), anchoring any finding at the emitting source line so
+//! the fix-path is obvious in either direction (document the key, or stop
+//! emitting it).
+
+use crate::diagnostics::Diagnostic;
+use crate::tokens::{Token, TokenKind};
+use crate::{FnSpan, LintContext, SourceFile};
+
+use super::Rule;
+
+/// Files whose `fn key_values` bodies emit stats keys as string literals.
+const KEY_VALUES_FILES: &[&str] =
+    &["crates/core/src/engine/mod.rs", "crates/core/src/engine/cache.rs"];
+
+/// The server file whose `fn stats_text` emits keys via `push("key", …)`.
+const STATS_TEXT_FILE: &str = "crates/server/src/lib.rs";
+
+/// See the module docs.
+pub struct StatsGlossarySync;
+
+impl Rule for StatsGlossarySync {
+    fn name(&self) -> &'static str {
+        "stats-glossary-sync"
+    }
+
+    fn description(&self) -> &'static str {
+        "counter key emitted by key_values/stats_text missing from README's stats glossary"
+    }
+
+    fn check(&self, ctx: &LintContext) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for file in &ctx.files {
+            let emitted: Vec<&Token> = if KEY_VALUES_FILES.contains(&file.rel_path.as_str()) {
+                keys_from_fns(file, "key_values", collect_string_literals)
+            } else if file.rel_path == STATS_TEXT_FILE {
+                keys_from_fns(file, "stats_text", collect_push_first_args)
+            } else {
+                continue;
+            };
+            for tok in emitted {
+                let key = unquote(&tok.text);
+                let documented = ctx
+                    .readme
+                    .as_deref()
+                    .is_some_and(|readme| readme.contains(&format!("`{key}`")));
+                if !documented {
+                    let detail = if ctx.readme.is_some() {
+                        "missing from README.md's stats glossary"
+                    } else {
+                        "but README.md was not found at the lint root"
+                    };
+                    out.push(file.diag(
+                        tok,
+                        "stats-glossary-sync",
+                        format!("stats key `{key}` is emitted here but {detail}"),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Run `collect` over the body of every non-test function named `name`.
+fn keys_from_fns<'f>(
+    file: &'f SourceFile,
+    name: &str,
+    collect: fn(&'f SourceFile, &FnSpan) -> Vec<&'f Token>,
+) -> Vec<&'f Token> {
+    file.fn_spans
+        .iter()
+        .filter(|span| span.name == name && !file.in_test(span.sig_start))
+        .flat_map(|span| collect(file, span))
+        .collect()
+}
+
+/// Every identifier-shaped string literal in the function body — the
+/// `("key", value)` pair shape of `key_values`.
+fn collect_string_literals<'f>(file: &'f SourceFile, span: &FnSpan) -> Vec<&'f Token> {
+    file.code[span.body_start..=span.body_end]
+        .iter()
+        .filter(|t| t.kind == TokenKind::Str && is_key_shaped(&unquote(&t.text)))
+        .collect()
+}
+
+/// Every `push("key", …)` first argument in the function body — the
+/// emission shape of the server's `stats_text`. (`push_str` is a
+/// different identifier and is not matched, so the protocol terminator
+/// is not mistaken for a key.)
+fn collect_push_first_args<'f>(file: &'f SourceFile, span: &FnSpan) -> Vec<&'f Token> {
+    let body = &file.code[span.body_start..=span.body_end];
+    let mut out = Vec::new();
+    for j in 0..body.len() {
+        if body[j].is_ident("push")
+            && body.get(j + 1).is_some_and(|t| t.is_punct("("))
+            && body.get(j + 2).is_some_and(|t| t.kind == TokenKind::Str)
+            && is_key_shaped(&unquote(&body[j + 2].text))
+        {
+            out.push(&body[j + 2]);
+        }
+    }
+    out
+}
+
+/// Strip the quotes from a plain string literal's token text.
+fn unquote(text: &str) -> String {
+    text.trim_start_matches('"').trim_end_matches('"').to_string()
+}
+
+/// True for `snake_case`-identifier-shaped strings — the only form stats
+/// keys take; filters out message strings that share a function body.
+fn is_key_shaped(s: &str) -> bool {
+    !s.is_empty() && s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LintContext;
+    use std::path::PathBuf;
+
+    fn ctx(rel: &str, src: &str, readme: Option<&str>) -> LintContext {
+        LintContext {
+            root: PathBuf::from("."),
+            files: vec![SourceFile::new(rel.into(), src.into())],
+            readme: readme.map(|r| r.into()),
+        }
+    }
+
+    const KEY_VALUES: &str = "impl BatchStats {\n\
+         fn key_values(&self) -> Vec<(&'static str, u64)> {\n\
+             vec![(\"queries\", self.queries), (\"cache_hits\", self.cache_hits)]\n\
+         }\n\
+     }\n";
+
+    #[test]
+    fn undocumented_key_values_key_is_flagged() {
+        let ctx = ctx(
+            "crates/core/src/engine/mod.rs",
+            KEY_VALUES,
+            Some("Glossary: `queries` counts queries.\n"),
+        );
+        let out = StatsGlossarySync.check(&ctx);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("cache_hits"));
+    }
+
+    #[test]
+    fn fully_documented_keys_pass() {
+        let ctx = ctx(
+            "crates/core/src/engine/mod.rs",
+            KEY_VALUES,
+            Some("`queries` and `cache_hits` are documented.\n"),
+        );
+        assert!(StatsGlossarySync.check(&ctx).is_empty());
+    }
+
+    #[test]
+    fn stats_text_push_keys_are_checked_but_push_str_is_not() {
+        let src = "fn stats_text(&self) -> String {\n\
+             let mut push = |k: &str, v: u64| {};\n\
+             push(\"requests\", 1);\n\
+             out.push_str(\"end\");\n\
+             out.push('\\n');\n\
+             String::new()\n\
+         }\n";
+        let ctx = ctx("crates/server/src/lib.rs", src, Some("no keys documented\n"));
+        let out = StatsGlossarySync.check(&ctx);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("requests"));
+    }
+
+    #[test]
+    fn non_key_shaped_strings_are_ignored() {
+        let src = "fn key_values(&self) -> Vec<(&'static str, u64)> {\n\
+             let msg = \"Not A Key!\";\n\
+             vec![(\"real_key\", 1)]\n\
+         }\n";
+        let ctx = ctx("crates/core/src/engine/cache.rs", src, Some("`real_key`\n"));
+        assert!(StatsGlossarySync.check(&ctx).is_empty());
+    }
+
+    #[test]
+    fn missing_readme_flags_every_key() {
+        let ctx = ctx("crates/core/src/engine/mod.rs", KEY_VALUES, None);
+        let out = StatsGlossarySync.check(&ctx);
+        assert_eq!(out.len(), 2, "{out:?}");
+    }
+
+    #[test]
+    fn out_of_scope_files_are_ignored() {
+        let ctx = ctx("crates/cli/src/main.rs", KEY_VALUES, None);
+        assert!(StatsGlossarySync.check(&ctx).is_empty());
+    }
+}

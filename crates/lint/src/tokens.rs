@@ -1,0 +1,444 @@
+//! A small comment/string/char/lifetime-aware Rust tokenizer.
+//!
+//! This is not a compiler front end: it produces exactly the token stream
+//! the lint rules need — identifiers, punctuation, literals and **comments
+//! as first-class tokens** (rules read justification comments and
+//! suppression pragmas out of them) — with `line:col` spans for
+//! diagnostics. It understands every lexical form that could derail a
+//! naive text scan:
+//!
+//! * line (`//`, `///`, `//!`) and nested block (`/* /* */ */`) comments;
+//! * string (`"…"`), raw string (`r#"…"#`), byte string (`b"…"`) and char
+//!   (`'x'`, `'\n'`, `'\u{7f}'`) literals — so `"Ordering::Relaxed"`
+//!   inside a string never looks like code;
+//! * lifetimes (`'a`, `'static`) vs. char literals — the classic
+//!   single-quote ambiguity;
+//! * `::` as one token (rules match paths like `Ordering::Relaxed`).
+//!
+//! Numbers are tokenized without dots (`1.5` is three tokens); no rule
+//! inspects numeric values, so the simplification is free.
+
+/// What a [`Token`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `unsafe`, `Ordering`, …).
+    Ident,
+    /// Single punctuation character, or the combined `::`.
+    Punct,
+    /// String, raw-string or byte-string literal (quotes included in the
+    /// text; raw/byte prefixes preserved).
+    Str,
+    /// Character literal (quotes included).
+    Char,
+    /// Lifetime (`'a`, `'static`), leading quote included.
+    Lifetime,
+    /// Numeric literal (integer part only; no dots).
+    Number,
+    /// `//`-style comment, text up to (not including) the newline.
+    LineComment,
+    /// `/* … */` comment, delimiters included, possibly spanning lines.
+    BlockComment,
+}
+
+/// One lexical token with its position.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// Raw text of the token (delimiters included for literals/comments).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// `true` for the two comment kinds.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// `true` when the token is an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// `true` when the token is punctuation with exactly this text.
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == text
+    }
+}
+
+/// Cursor over the source's characters with line/column accounting.
+struct Cursor<'s> {
+    chars: std::iter::Peekable<std::str::Chars<'s>>,
+    line: u32,
+    col: u32,
+}
+
+impl<'s> Cursor<'s> {
+    fn new(text: &'s str) -> Self {
+        Self { chars: text.chars().peekable(), line: 1, col: 1 }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenizes `text` into the full stream, comments included.
+///
+/// The tokenizer never fails: unterminated literals or comments simply
+/// produce a final token running to end of input (good enough for lint
+/// purposes — the compiler is the arbiter of well-formedness).
+pub fn tokenize(text: &str) -> Vec<Token> {
+    let mut cursor = Cursor::new(text);
+    let mut tokens = Vec::new();
+    while let Some(c) = cursor.peek() {
+        let (line, col) = (cursor.line, cursor.col);
+        if c.is_whitespace() {
+            cursor.bump();
+            continue;
+        }
+        let token = if c == '/' { read_slash(&mut cursor) } else { read_token(&mut cursor, c) };
+        let mut token = token;
+        token.line = line;
+        token.col = col;
+        tokens.push(token);
+    }
+    tokens
+}
+
+/// `/`: division, line comment or block comment.
+fn read_slash(cursor: &mut Cursor<'_>) -> Token {
+    let mut text = String::from(cursor.bump().expect("peeked"));
+    match cursor.peek() {
+        Some('/') => {
+            while let Some(c) = cursor.peek() {
+                if c == '\n' {
+                    break;
+                }
+                text.push(cursor.bump().expect("peeked"));
+            }
+            Token { kind: TokenKind::LineComment, text, line: 0, col: 0 }
+        }
+        Some('*') => {
+            text.push(cursor.bump().expect("peeked"));
+            let mut depth = 1u32;
+            while depth > 0 {
+                let Some(c) = cursor.bump() else { break };
+                text.push(c);
+                if c == '*' && cursor.peek() == Some('/') {
+                    text.push(cursor.bump().expect("peeked"));
+                    depth -= 1;
+                } else if c == '/' && cursor.peek() == Some('*') {
+                    text.push(cursor.bump().expect("peeked"));
+                    depth += 1;
+                }
+            }
+            Token { kind: TokenKind::BlockComment, text, line: 0, col: 0 }
+        }
+        _ => Token { kind: TokenKind::Punct, text, line: 0, col: 0 },
+    }
+}
+
+/// Every token that does not start with `/`.
+fn read_token(cursor: &mut Cursor<'_>, first: char) -> Token {
+    // Raw / byte string prefixes: r", r#", br", b" — an identifier head
+    // immediately followed by a quote (or #"). Checked before plain
+    // identifiers so `r#"…"#` is not read as ident `r` + junk.
+    if first == 'r' || first == 'b' {
+        if let Some(token) = try_read_prefixed_string(cursor) {
+            return token;
+        }
+    }
+    if is_ident_start(first) {
+        let mut text = String::new();
+        while let Some(c) = cursor.peek() {
+            if !is_ident_continue(c) {
+                break;
+            }
+            text.push(cursor.bump().expect("peeked"));
+        }
+        return Token { kind: TokenKind::Ident, text, line: 0, col: 0 };
+    }
+    if first.is_ascii_digit() {
+        let mut text = String::new();
+        while let Some(c) = cursor.peek() {
+            if !is_ident_continue(c) {
+                break;
+            }
+            text.push(cursor.bump().expect("peeked"));
+        }
+        return Token { kind: TokenKind::Number, text, line: 0, col: 0 };
+    }
+    if first == '"' {
+        return read_quoted_string(cursor);
+    }
+    if first == '\'' {
+        return read_quote(cursor);
+    }
+    // Punctuation; `::` is combined into one token.
+    let mut text = String::from(cursor.bump().expect("peeked"));
+    if first == ':' && cursor.peek() == Some(':') {
+        text.push(cursor.bump().expect("peeked"));
+    }
+    Token { kind: TokenKind::Punct, text, line: 0, col: 0 }
+}
+
+/// `r"…"`, `r#"…"#`, `b"…"`, `br##"…"##` — or `None` when the `r`/`b`
+/// head turns out to be a plain identifier.
+fn try_read_prefixed_string(cursor: &mut Cursor<'_>) -> Option<Token> {
+    // Clone-free lookahead is impossible with a char iterator, so probe by
+    // consuming only when the prefix shape is certain: peek the chain via
+    // a cloned cursor state is unavailable — instead read the ident and
+    // re-classify. Consume the ident head first.
+    let mut head = String::new();
+    while let Some(c) = cursor.peek() {
+        if !is_ident_continue(c) {
+            break;
+        }
+        head.push(cursor.bump().expect("peeked"));
+    }
+    let is_raw_head = matches!(head.as_str(), "r" | "b" | "br" | "rb");
+    match cursor.peek() {
+        Some('"') if is_raw_head => {
+            let raw = head.contains('r');
+            let mut token =
+                if raw { read_raw_string(cursor, 0) } else { read_quoted_string(cursor) };
+            token.text.insert_str(0, &head);
+            Some(token)
+        }
+        Some('#') if is_raw_head && head.contains('r') => {
+            // Count hashes; only a quote after them makes this a raw
+            // string (stray `r#ident` is a raw identifier: re-emit below).
+            let mut hashes = 0usize;
+            while cursor.peek() == Some('#') {
+                cursor.bump();
+                hashes += 1;
+            }
+            if cursor.peek() == Some('"') {
+                let mut token = read_raw_string(cursor, hashes);
+                let mut prefix = head;
+                prefix.push_str(&"#".repeat(hashes));
+                token.text.insert_str(0, &prefix);
+                Some(token)
+            } else {
+                // Raw identifier (`r#match`): emit the following ident
+                // with the prefix glued on.
+                let mut text = head;
+                text.push_str(&"#".repeat(hashes));
+                while let Some(c) = cursor.peek() {
+                    if !is_ident_continue(c) {
+                        break;
+                    }
+                    text.push(cursor.bump().expect("peeked"));
+                }
+                Some(Token { kind: TokenKind::Ident, text, line: 0, col: 0 })
+            }
+        }
+        _ => Some(Token { kind: TokenKind::Ident, text: head, line: 0, col: 0 }),
+    }
+}
+
+/// `"…"` with escape handling; the opening quote is at the cursor.
+fn read_quoted_string(cursor: &mut Cursor<'_>) -> Token {
+    let mut text = String::from(cursor.bump().expect("peeked"));
+    while let Some(c) = cursor.bump() {
+        text.push(c);
+        if c == '\\' {
+            if let Some(escaped) = cursor.bump() {
+                text.push(escaped);
+            }
+        } else if c == '"' {
+            break;
+        }
+    }
+    Token { kind: TokenKind::Str, text, line: 0, col: 0 }
+}
+
+/// Raw string body: the opening quote is at the cursor; ends at `"`
+/// followed by `hashes` hash signs.
+fn read_raw_string(cursor: &mut Cursor<'_>, hashes: usize) -> Token {
+    let mut text = String::from(cursor.bump().expect("peeked"));
+    'outer: while let Some(c) = cursor.bump() {
+        text.push(c);
+        if c == '"' {
+            for _ in 0..hashes {
+                if cursor.peek() == Some('#') {
+                    text.push(cursor.bump().expect("peeked"));
+                } else {
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+    }
+    Token { kind: TokenKind::Str, text, line: 0, col: 0 }
+}
+
+/// `'`: lifetime or char literal. The quote is at the cursor.
+fn read_quote(cursor: &mut Cursor<'_>) -> Token {
+    let mut text = String::from(cursor.bump().expect("peeked"));
+    match cursor.peek() {
+        // Escape: definitely a char literal, read through the close quote.
+        Some('\\') => {
+            while let Some(c) = cursor.bump() {
+                text.push(c);
+                if c == '\\' {
+                    if let Some(escaped) = cursor.bump() {
+                        text.push(escaped);
+                    }
+                    continue;
+                }
+                if c == '\'' {
+                    break;
+                }
+            }
+            Token { kind: TokenKind::Char, text, line: 0, col: 0 }
+        }
+        Some(c) if is_ident_start(c) => {
+            // `'a'` (char) vs `'a` / `'static` (lifetime): consume the
+            // identifier, then check for a closing quote.
+            while let Some(c) = cursor.peek() {
+                if !is_ident_continue(c) {
+                    break;
+                }
+                text.push(cursor.bump().expect("peeked"));
+            }
+            if cursor.peek() == Some('\'') {
+                text.push(cursor.bump().expect("peeked"));
+                Token { kind: TokenKind::Char, text, line: 0, col: 0 }
+            } else {
+                Token { kind: TokenKind::Lifetime, text, line: 0, col: 0 }
+            }
+        }
+        // `'+'` and friends: a single non-ident char then a close quote.
+        Some(_) => {
+            if let Some(c) = cursor.bump() {
+                text.push(c);
+            }
+            if cursor.peek() == Some('\'') {
+                text.push(cursor.bump().expect("peeked"));
+            }
+            Token { kind: TokenKind::Char, text, line: 0, col: 0 }
+        }
+        None => Token { kind: TokenKind::Char, text, line: 0, col: 0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(text: &str) -> Vec<(TokenKind, String)> {
+        tokenize(text).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_paths() {
+        let toks = kinds("let x = Ordering::Relaxed;");
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Ident, "let".into()),
+                (TokenKind::Ident, "x".into()),
+                (TokenKind::Punct, "=".into()),
+                (TokenKind::Ident, "Ordering".into()),
+                (TokenKind::Punct, "::".into()),
+                (TokenKind::Ident, "Relaxed".into()),
+                (TokenKind::Punct, ";".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_hide_code_shaped_text() {
+        let toks = kinds(r#"let s = "Ordering::Relaxed // not a comment";"#);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 1);
+        assert!(!toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "Relaxed"));
+        assert!(!toks.iter().any(|(k, _)| *k == TokenKind::LineComment));
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let toks = kinds(r##"let s = r#"a "quoted" thing"#; let b = b"bytes"; let r = r"raw";"##);
+        let strs: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokenKind::Str).map(|(_, t)| t.clone()).collect();
+        assert_eq!(strs.len(), 3, "{strs:?}");
+        assert!(strs[0].starts_with("r#\"") && strs[0].ends_with("\"#"));
+        assert!(strs[1].starts_with("b\""));
+        assert!(strs[2].starts_with("r\""));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks =
+            kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; let s: &'static str; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a", "'static"]);
+        let chars: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokenKind::Char).map(|(_, t)| t.as_str()).collect();
+        assert_eq!(chars, vec!["'x'", "'\\n'"]);
+    }
+
+    #[test]
+    fn comments_are_tokens_with_positions() {
+        let toks = tokenize("x // trailing\n/* block\nspans */ y");
+        assert_eq!(toks[1].kind, TokenKind::LineComment);
+        assert_eq!(toks[1].text, "// trailing");
+        assert_eq!((toks[1].line, toks[1].col), (1, 3));
+        assert_eq!(toks[2].kind, TokenKind::BlockComment);
+        assert_eq!(toks[2].line, 2);
+        assert!(toks[2].text.contains("spans"));
+        assert!(toks[3].is_ident("y"));
+        assert_eq!(toks[3].line, 3);
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_correctly() {
+        let toks = kinds("/* outer /* inner */ still outer */ after");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].0, TokenKind::BlockComment);
+        assert!(toks[0].1.ends_with("still outer */"));
+        assert_eq!(toks[1], (TokenKind::Ident, "after".into()));
+    }
+
+    #[test]
+    fn unterminated_forms_do_not_loop() {
+        for src in ["\"unterminated", "/* unterminated", "'", "r#\"unterminated"] {
+            let toks = tokenize(src);
+            assert!(!toks.is_empty(), "{src:?}");
+        }
+    }
+
+    #[test]
+    fn raw_identifiers_stay_identifiers() {
+        let toks = kinds("let r#match = 1;");
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "r#match"));
+    }
+}

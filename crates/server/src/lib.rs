@@ -47,6 +47,8 @@
 //! assert_eq!(report.totals.queries, 0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod protocol;
 
 use std::collections::VecDeque;
@@ -54,7 +56,7 @@ use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use tspg_core::{BatchStats, QueryEngine, QuerySpec};
@@ -196,7 +198,7 @@ impl Shared {
         // notification — and sleep out a whole admission window before
         // draining.
         {
-            let _queue = self.admission.lock();
+            let _queue = self.admission.lock().unwrap_or_else(PoisonError::into_inner);
             self.admit_cv.notify_all();
         }
         let _ = UnixStream::connect(&self.path);
@@ -216,6 +218,8 @@ impl Shared {
         push("admit_window_us", self.config.admit_window.as_micros().min(u64::MAX as u128) as u64);
         push("quota", self.config.quota as u64);
         push("threads", self.config.threads as u64);
+        // relaxed: serving counters are monotone statistics; a snapshot
+        // slightly out of step across keys is acceptable by design.
         let c = &self.counters;
         push("requests", c.requests.load(Ordering::Relaxed));
         push("responses", c.responses.load(Ordering::Relaxed));
@@ -228,7 +232,7 @@ impl Shared {
         push("empty_wakeups", c.empty_wakeups.load(Ordering::Relaxed));
         push("clients_accepted", c.clients_accepted.load(Ordering::Relaxed));
         push("clients_gone", c.clients_gone.load(Ordering::Relaxed));
-        let totals = self.totals.lock().map(|t| *t).unwrap_or_default();
+        let totals = *self.totals.lock().unwrap_or_else(PoisonError::into_inner);
         for (key, value) in totals.key_values() {
             push(key, value);
         }
@@ -242,8 +246,9 @@ impl Shared {
     }
 
     fn report(&self) -> ServerReport {
+        // relaxed: final-report counter reads; see `stats_text`.
         ServerReport {
-            totals: self.totals.lock().map(|t| *t).unwrap_or_default(),
+            totals: *self.totals.lock().unwrap_or_else(PoisonError::into_inner),
             batches: self.counters.batches.load(Ordering::Relaxed),
             requests: self.counters.requests.load(Ordering::Relaxed),
             responses: self.counters.responses.load(Ordering::Relaxed),
@@ -370,7 +375,8 @@ impl ServerHandle {
         if let Some(dispatcher) = self.dispatcher.take() {
             let _ = dispatcher.join();
         }
-        if let Ok(clients) = self.shared.clients.lock() {
+        {
+            let clients = self.shared.clients.lock().unwrap_or_else(PoisonError::into_inner);
             for client in clients.iter() {
                 client.hang_up();
             }
@@ -378,12 +384,8 @@ impl ServerHandle {
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
-        let readers = self
-            .shared
-            .readers
-            .lock()
-            .map(|mut readers| readers.drain(..).collect::<Vec<_>>())
-            .unwrap_or_default();
+        let readers: Vec<_> =
+            self.shared.readers.lock().unwrap_or_else(PoisonError::into_inner).drain(..).collect();
         for reader in readers {
             let _ = reader.join();
         }
@@ -400,21 +402,20 @@ fn acceptor_loop(shared: &Arc<Shared>, listener: &UnixListener) {
         }
         let Ok(stream) = stream else { continue };
         let Ok(writer) = stream.try_clone() else { continue };
+        // relaxed: serving counters are statistics only (see `stats_text`).
         shared.counters.clients_accepted.fetch_add(1, Ordering::Relaxed);
         let slot = Arc::new(ClientSlot {
             writer: Mutex::new(writer),
             in_flight: AtomicUsize::new(0),
             gone: AtomicBool::new(false),
         });
-        if let Ok(mut clients) = shared.clients.lock() {
-            clients.push(Arc::clone(&slot));
-        }
+        shared.clients.lock().unwrap_or_else(PoisonError::into_inner).push(Arc::clone(&slot));
         let reader_shared = Arc::clone(shared);
         let spawned = std::thread::Builder::new()
             .name("tspg-reader".into())
             .spawn(move || reader_loop(&reader_shared, &slot, stream));
-        if let (Ok(handle), Ok(mut readers)) = (spawned, shared.readers.lock()) {
-            readers.push(handle);
+        if let Ok(handle) = spawned {
+            shared.readers.lock().unwrap_or_else(PoisonError::into_inner).push(handle);
         }
     }
 }
@@ -433,6 +434,7 @@ fn reader_loop(shared: &Arc<Shared>, slot: &Arc<ClientSlot>, stream: UnixStream)
         if line.is_empty() {
             continue;
         }
+        // relaxed: serving counters are statistics only (see `stats_text`).
         shared.counters.requests.fetch_add(1, Ordering::Relaxed);
         match protocol::parse_request(line) {
             Ok(protocol::Request::Query { id, query }) => {
@@ -447,9 +449,12 @@ fn reader_loop(shared: &Arc<Shared>, slot: &Arc<ClientSlot>, stream: UnixStream)
                 slot.in_flight.fetch_add(1, Ordering::AcqRel);
                 let pending =
                     Pending { client: Arc::clone(slot), id, query, enqueued: Instant::now() };
-                if let Ok(mut queue) = shared.admission.lock() {
-                    queue.push_back(pending);
-                }
+                let mut queue = shared.admission.lock().unwrap_or_else(PoisonError::into_inner);
+                queue.push_back(pending);
+                // Notify while still holding the admission lock (see
+                // `begin_shutdown`): dropping the guard first would let
+                // the dispatcher check its predicate and park between our
+                // push and this wakeup, losing the notification.
                 shared.admit_cv.notify_all();
             }
             Ok(protocol::Request::Stats) => {
@@ -492,9 +497,8 @@ fn dispatcher_loop(shared: &Arc<Shared>) {
         }
         let queries: Vec<QuerySpec> = batch.iter().map(|p| p.query).collect();
         let (results, stats) = shared.engine.run_batch_with_stats(&queries, shared.config.threads);
-        if let Ok(mut totals) = shared.totals.lock() {
-            totals.merge(&stats);
-        }
+        shared.totals.lock().unwrap_or_else(PoisonError::into_inner).merge(&stats);
+        // relaxed: serving counters are statistics only (see `stats_text`).
         shared.counters.batches.fetch_add(1, Ordering::Relaxed);
         for (pending, result) in batch.iter().zip(results) {
             pending.client.in_flight.fetch_sub(1, Ordering::AcqRel);
@@ -520,9 +524,8 @@ fn dispatcher_loop(shared: &Arc<Shared>) {
 /// which the dispatcher treats as a no-op.
 fn collect_batch(shared: &Arc<Shared>) -> Vec<Pending> {
     let config = &shared.config;
-    let Ok(mut queue) = shared.admission.lock() else {
-        return Vec::new();
-    };
+    // relaxed: flush-trigger tallies are statistics only (see `stats_text`).
+    let mut queue = shared.admission.lock().unwrap_or_else(PoisonError::into_inner);
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             // Drain everything in one final batch so every accepted
@@ -542,22 +545,22 @@ fn collect_batch(shared: &Arc<Shared>) -> Vec<Pending> {
                     return queue.drain(..take).collect();
                 }
                 let remaining = config.admit_window - age;
-                match shared.admit_cv.wait_timeout(queue, remaining) {
-                    Ok((guard, _)) => queue = guard,
-                    Err(_) => return Vec::new(),
-                }
+                let (guard, _) = shared
+                    .admit_cv
+                    .wait_timeout(queue, remaining)
+                    .unwrap_or_else(PoisonError::into_inner);
+                queue = guard;
             }
             None => {
                 // Idle tick: the flush timer keeps firing with zero
                 // pending requests; each wake-up is a counted no-op.
-                match shared.admit_cv.wait_timeout(queue, config.admit_window) {
-                    Ok((guard, timeout)) => {
-                        queue = guard;
-                        if timeout.timed_out() && queue.is_empty() {
-                            shared.counters.empty_wakeups.fetch_add(1, Ordering::Relaxed);
-                        }
-                    }
-                    Err(_) => return Vec::new(),
+                let (guard, timeout) = shared
+                    .admit_cv
+                    .wait_timeout(queue, config.admit_window)
+                    .unwrap_or_else(PoisonError::into_inner);
+                queue = guard;
+                if timeout.timed_out() && queue.is_empty() {
+                    shared.counters.empty_wakeups.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }

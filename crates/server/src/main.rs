@@ -11,6 +11,8 @@
 //! every pending answer is written, the socket is unlinked and the process
 //! exits 0 with a final stats dump on stderr.
 
+#![forbid(unsafe_code)]
+
 use std::collections::HashMap;
 use std::process::ExitCode;
 use std::time::Duration;
