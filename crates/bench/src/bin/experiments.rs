@@ -22,6 +22,7 @@
 //!   exp11      envelope sharing on overlapping windows  (Exp-11, beyond the paper)
 //!   exp12      same-source frontier sharing on fan-outs (Exp-12, beyond the paper)
 //!   exp13      closed-loop latency through tspg-server  (Exp-13, beyond the paper)
+//!   exp14      arrival profiles on mixed-begin fan-outs (Exp-14, beyond the paper)
 //!
 //! OPTIONS
 //!   --scale tiny|small|medium   dataset scale                (default small)
@@ -168,6 +169,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "exp11" | "envelopes" => print(vec![exp11_envelopes(&cfg, threads)]),
         "exp12" | "frontier" => print(vec![exp12_frontier_sharing(&cfg, threads)]),
         "exp13" | "server" => print(vec![exp13_server_latency(&cfg, threads)]),
+        "exp14" | "profiles" => print(vec![exp14_profile_sharing(&cfg, threads)]),
         "all" => {
             print(vec![table1_datasets(&cfg)]);
             print(vec![exp1_response_time(&cfg)]);
@@ -187,6 +189,7 @@ fn run(args: &[String]) -> Result<(), String> {
             print(vec![exp11_envelopes(&cfg, threads)]);
             print(vec![exp12_frontier_sharing(&cfg, threads)]);
             print(vec![exp13_server_latency(&cfg, threads)]);
+            print(vec![exp14_profile_sharing(&cfg, threads)]);
         }
         other => return Err(format!("unknown subcommand {other:?}")),
     }
@@ -213,6 +216,6 @@ fn print_help() {
                 [--cache-size N] [--json PATH]\n\n\
          subcommands: all (default), table1, exp1, exp2, exp3, exp4, table2,\n\
                       exp5, exp5-theta, exp6, exp7, exp8, batch, exp10, exp11,\n\
-                      exp12, exp13"
+                      exp12, exp13, exp14"
     );
 }

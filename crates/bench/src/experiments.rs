@@ -731,14 +731,15 @@ pub fn exp11_envelopes(cfg: &HarnessConfig, threads: usize) -> Table {
 /// * **PR 2 sequential** — one full pipeline per query: per query a
 ///   forward BFS, a backward BFS and an `O(m)` edge scan over the full
 ///   graph.
-/// * **envelope-only** — the default planner with frontier sharing
+/// * **envelope-only** — the default planner with profile sharing
 ///   disabled: fan-out bursts plan one unit per target, so this arm runs
 ///   the same full-graph passes as the sequential one (plus cross-window
 ///   sharing where windows happen to nest).
 /// * **frontier-shared** — the default planner: each burst's units share
-///   one target-agnostic forward pass over the burst's hull window, and
-///   every member answers from a candidate subgraph scanned off the
-///   frontier instead of re-filtering all `m` edges.
+///   one target-agnostic forward pass over the burst's hull window (an
+///   [`tspg_core::ArrivalProfile`] since PR 8), and every member answers
+///   from a candidate subgraph scanned off the clamped frontier instead of
+///   re-filtering all `m` edges.
 ///
 /// The table reports wall-clock for the three arms, the frontier arm's
 /// group counters, and an `identical` column cross-checking that all three
@@ -805,7 +806,7 @@ pub fn exp12_frontier_sharing(cfg: &HarnessConfig, threads: usize) -> Table {
         // Envelope-only planning (PR 4): no frontier groups.
         let envelope_engine = QueryEngine::new(graph.clone())
             .without_cache()
-            .with_planner(PlannerConfig::default().without_frontier_sharing());
+            .with_planner(PlannerConfig::default().without_profile_sharing());
         let started = Instant::now();
         let (envelope, envelope_stats) = envelope_engine.run_batch_with_stats(&queries, threads);
         let envelope_time = started.elapsed();
@@ -823,8 +824,8 @@ pub fn exp12_frontier_sharing(cfg: &HarnessConfig, threads: usize) -> Table {
             .all(|((a, b), c)| a.tspg == b.tspg && a.tspg == c.tspg);
         assert!(identical, "{name}: frontier/envelope answers diverged from sequential");
         assert!(
-            stats.frontier_groups >= 1,
-            "{name}: a fan-out workload must form frontier groups: {stats:?}"
+            stats.profile_groups >= 1,
+            "{name}: a fan-out workload must form profile groups: {stats:?}"
         );
         assert_eq!(
             stats.pipeline_runs(),
@@ -846,8 +847,166 @@ pub fn exp12_frontier_sharing(cfg: &HarnessConfig, threads: usize) -> Table {
             format_duration(envelope_time),
             format_duration(frontier_time),
             speedup,
-            stats.frontier_groups.to_string(),
-            stats.frontier_answered.to_string(),
+            stats.profile_groups.to_string(),
+            stats.profile_answered.to_string(),
+            identical.to_string(),
+        ]);
+    }
+    table
+}
+
+/// Exp-14 (beyond the paper): per-source arrival profiles on *mixed-begin*
+/// fan-out traffic — bursts expanding one hot source against many targets
+/// whose window begins are jittered, the shape PR 5's begin-anchored
+/// frontier sharing cannot collapse (a frontier is only reusable at the
+/// exact begin it was computed for; a profile clamps to any begin inside
+/// its hull).
+///
+/// Runs in the serving regime (same graph shapes as Exp-12), result cache
+/// off so the planner's own saving is what gets measured, four arms:
+///
+/// * **PR 2 sequential** — one full pipeline per query.
+/// * **no-sharing** — the default planner with profile sharing disabled.
+///   On mixed-begin bursts this is also what PR 5's frontier grouping
+///   degenerates to (no two members share a begin), so the column doubles
+///   as the PR 5 baseline.
+/// * **profile (cold)** — the default planner: each burst's units share
+///   one [`tspg_core::ArrivalProfile`] over the hull window, clamped per
+///   member begin; the profile cache starts empty so every group pays one
+///   profile computation.
+/// * **profile (warm)** — the same batch replayed on the same engine: the
+///   profiles are resident in the engine's profile cache, so groups skip
+///   even the one forward pass.
+///
+/// The table reports wall-clock for the four arms, a cold-vs-no-sharing
+/// speedup, the profile group counters, the warm pass's cache hits, and an
+/// `identical` column cross-checking that all four arms produce
+/// byte-identical answers in batch order.
+///
+/// # Panics
+///
+/// Panics if any answer diverges between the arms, if the profile arm
+/// failed to form any group on a mixed-begin fan-out workload, or if the
+/// warm pass reports zero profile-cache hits — CI runs this experiment on
+/// every push and greps the identity column.
+pub fn exp14_profile_sharing(cfg: &HarnessConfig, threads: usize) -> Table {
+    let threads = threads.max(1);
+    let mut table = Table::new(
+        format!("Exp-14 — arrival profiles on mixed-begin fan-outs ({threads} threads, cache off)"),
+        &[
+            "graph",
+            "|V|",
+            "|E|",
+            "queries",
+            "bursts",
+            "PR2 seq",
+            "no-sharing",
+            "profile cold",
+            "profile warm",
+            "cold vs no-sharing",
+            "groups",
+            "profile answered",
+            "warm cache hits",
+            "identical",
+        ],
+    );
+    // Same serving-graph shape as Exp-12; the jitter spreads each burst's
+    // begins over half a window width, so the hull stays within the
+    // planner's span-factor guard while no two members need share a begin.
+    let edges = cfg.scale.min_edges.max(300);
+    let vertices = (edges / 6).max(24);
+    let timestamps = (edges / 10).max(40);
+    let theta = (timestamps as i64 / 16).max(2);
+    let jitter = (theta / 2).max(1);
+    let shapes = [
+        ("uniform", GraphGenerator::uniform(vertices, edges, timestamps)),
+        ("hub", GraphGenerator::hub(vertices, edges, timestamps, 1.2)),
+    ];
+    for (name, generator) in shapes {
+        let graph = generator.generate(cfg.seed ^ 0x14);
+        let bursts = cfg.queries_per_dataset.max(1);
+        let workload_cfg =
+            FanoutWorkloadConfig::new(bursts * 8, bursts, theta).with_begin_jitter(jitter);
+        let queries = match generate_fanout_workload(&graph, &workload_cfg, cfg.seed) {
+            Ok(queries) => queries,
+            Err(e) => {
+                eprintln!("exp14: skipping {name} graph — workload generation failed: {e}");
+                continue;
+            }
+        };
+
+        // PR 2 sequential baseline: raw pipeline per query.
+        let baseline_engine = QueryEngine::new(graph.clone()).without_cache();
+        let mut scratch = tspg_core::QueryScratch::new();
+        let started = Instant::now();
+        let baseline: Vec<VugResult> =
+            queries.iter().map(|&q| baseline_engine.run(q, &mut scratch)).collect();
+        let baseline_time = started.elapsed();
+
+        // No profile sharing: the PR 5 regime on mixed begins.
+        let nosharing_engine = QueryEngine::new(graph.clone())
+            .without_cache()
+            .with_planner(PlannerConfig::default().without_profile_sharing());
+        let started = Instant::now();
+        let (nosharing, nosharing_stats) = nosharing_engine.run_batch_with_stats(&queries, threads);
+        let nosharing_time = started.elapsed();
+
+        // Profile-shared planning (this PR), cold then warm on one engine.
+        let profile_engine = QueryEngine::new(graph.clone()).without_cache();
+        let started = Instant::now();
+        let (cold, stats) = profile_engine.run_batch_with_stats(&queries, threads);
+        let cold_time = started.elapsed();
+        let started = Instant::now();
+        let (warm, warm_stats) = profile_engine.run_batch_with_stats(&queries, threads);
+        let warm_time = started.elapsed();
+        let cache = profile_engine
+            .profile_cache_stats()
+            .expect("exp14 runs with the default profile cache enabled");
+
+        let identical = baseline
+            .iter()
+            .zip(nosharing.iter())
+            .zip(cold.iter())
+            .zip(warm.iter())
+            .all(|(((a, b), c), d)| a.tspg == b.tspg && a.tspg == c.tspg && a.tspg == d.tspg);
+        assert!(identical, "{name}: profile/no-sharing answers diverged from sequential");
+        assert!(
+            stats.profile_groups >= 1,
+            "{name}: a mixed-begin fan-out workload must form profile groups: {stats:?}"
+        );
+        assert_eq!(
+            nosharing_stats.profile_groups, 0,
+            "{name}: the no-sharing arm must plan zero profile groups"
+        );
+        assert_eq!(
+            stats.pipeline_runs(),
+            nosharing_stats.pipeline_runs(),
+            "{name}: profile sharing cuts inside runs, never changes how many there are"
+        );
+        assert!(
+            warm_stats.profile_groups >= 1 && cache.hits > 0,
+            "{name}: a warm replay must serve its groups from the profile cache: \
+             {warm_stats:?} {cache:?}"
+        );
+        let speedup = if cold_time.as_secs_f64() > 0.0 {
+            format!("{:.1}x", nosharing_time.as_secs_f64() / cold_time.as_secs_f64())
+        } else {
+            "-".to_string()
+        };
+        table.push_row(vec![
+            name.to_string(),
+            graph.num_vertices().to_string(),
+            graph.num_edges().to_string(),
+            queries.len().to_string(),
+            bursts.to_string(),
+            format_duration(baseline_time),
+            format_duration(nosharing_time),
+            format_duration(cold_time),
+            format_duration(warm_time),
+            speedup,
+            stats.profile_groups.to_string(),
+            stats.profile_answered.to_string(),
+            cache.hits.to_string(),
             identical.to_string(),
         ]);
     }
@@ -1195,6 +1354,15 @@ mod tests {
     #[test]
     fn exp12_frontier_sharing_forms_groups_and_stays_identical() {
         let t = exp12_frontier_sharing(&smoke_cfg(), 2);
+        assert_eq!(t.num_rows(), 2);
+        let text = t.render();
+        assert!(text.contains("true"), "{text}");
+        assert!(!text.contains("false"), "{text}");
+    }
+
+    #[test]
+    fn exp14_profile_sharing_forms_groups_and_stays_identical() {
+        let t = exp14_profile_sharing(&smoke_cfg(), 2);
         assert_eq!(t.num_rows(), 2);
         let text = t.render();
         assert!(text.contains("true"), "{text}");

@@ -6,10 +6,13 @@
 //! tspg query <edge-list> --source S --target T --begin B --end E
 //!            [--algorithm vug|epdt|epes|eptg] [--dot]
 //! tspg paths <edge-list> --source S --target T --begin B --end E [--limit N]
-//! tspg workload <edge-list> --queries N --theta T [--seed N] [--output FILE]
+//! tspg workload <edge-list> --queries N --theta T [--seed N]
+//!               [--fanout-sources S] [--end-spread E] [--begin-jitter J]
+//!               [--output FILE]
 //! tspg batch <edge-list> <query-file> [--threads N] [--cache-size N]
 //!            [--no-cache] [--envelope-factor K] [--no-envelopes]
-//!            [--envelope-density-cutoff R] [--no-frontier-sharing] [--quiet]
+//!            [--envelope-density-cutoff R] [--no-profile-sharing]
+//!            [--profile-density-cutoff R] [--profile-cache-size N] [--quiet]
 //! tspg client <query-file> --socket PATH [--stats] [--shutdown] [--quiet]
 //! ```
 //!
@@ -26,7 +29,9 @@ use std::os::unix::net::UnixStream;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 use tspg_baselines::{run_ep, EpAlgorithm};
-use tspg_core::{generate_tspg, CacheConfig, PlannerConfig, QueryEngine, QuerySpec};
+use tspg_core::{
+    generate_tspg, CacheConfig, PlannerConfig, ProfileCacheConfig, QueryEngine, QuerySpec,
+};
 use tspg_datasets::{find, format_queries, generate_workload, parse_queries, Scale};
 use tspg_enum::{enumerate_paths, Budget};
 use tspg_graph::{io, GraphStats, TemporalGraph, TimeInterval, VertexId};
@@ -73,10 +78,12 @@ fn usage() -> String {
        tspg query <edge-list> --source S --target T --begin B --end E\n\
                   [--algorithm vug|epdt|epes|eptg] [--dot]\n\
        tspg paths <edge-list> --source S --target T --begin B --end E [--limit N]\n\
-       tspg workload <edge-list> --queries N --theta T [--seed N] [--output FILE]\n\
+       tspg workload <edge-list> --queries N --theta T [--seed N]\n\
+                  [--fanout-sources S] [--end-spread E] [--begin-jitter J] [--output FILE]\n\
        tspg batch <edge-list> <query-file> [--threads N] [--cache-size N]\n\
                   [--no-cache] [--envelope-factor K] [--no-envelopes]\n\
-                  [--envelope-density-cutoff R] [--no-frontier-sharing] [--quiet]\n\
+                  [--envelope-density-cutoff R] [--no-profile-sharing]\n\
+                  [--profile-density-cutoff R] [--profile-cache-size N] [--quiet]\n\
        tspg client <query-file> --socket PATH [--stats] [--shutdown] [--quiet]\n"
         .to_string()
 }
@@ -89,12 +96,7 @@ fn parse_flags(args: &[String]) -> Result<(Vec<String>, HashMap<String, String>)
     while let Some(arg) = iter.next() {
         if let Some(name) = arg.strip_prefix("--") {
             let value = match name {
-                "dot"
-                | "quiet"
-                | "no-cache"
-                | "no-envelopes"
-                | "no-frontier-sharing"
-                | "stats"
+                "dot" | "quiet" | "no-cache" | "no-envelopes" | "no-profile-sharing" | "stats"
                 | "shutdown" => "true".to_string(),
                 _ => iter.next().cloned().ok_or_else(|| format!("--{name} expects a value"))?,
             };
@@ -251,8 +253,34 @@ fn cmd_workload(args: &[String]) -> Result<String, String> {
         Some(v) => parse_number(v, "seed")?,
         None => 42,
     };
-    let queries = generate_workload(&graph, num_queries, theta, seed)
-        .map_err(|e| format!("cannot generate workload: {e}"))?;
+    // `--fanout-sources S` switches to the same-source fan-out generator;
+    // `--end-spread` / `--begin-jitter` tune its window variation (the
+    // latter produces the mixed-begin bursts profile sharing groups).
+    let fanout_sources: Option<usize> = match flags.get("fanout-sources") {
+        Some(v) => Some(parse_number(v, "fan-out source count")?),
+        None => None,
+    };
+    let queries = match fanout_sources {
+        Some(sources) => {
+            let mut cfg = tspg_datasets::FanoutWorkloadConfig::new(num_queries, sources, theta);
+            if let Some(v) = flags.get("end-spread") {
+                cfg.end_spread = parse_number(v, "end spread")?;
+            }
+            if let Some(v) = flags.get("begin-jitter") {
+                cfg = cfg.with_begin_jitter(parse_number(v, "begin jitter")?);
+            }
+            tspg_datasets::generate_fanout_workload(&graph, &cfg, seed)
+        }
+        None => {
+            for knob in ["end-spread", "begin-jitter"] {
+                if flags.contains_key(knob) {
+                    return Err(format!("--{knob} requires --fanout-sources"));
+                }
+            }
+            generate_workload(&graph, num_queries, theta, seed)
+        }
+    }
+    .map_err(|e| format!("cannot generate workload: {e}"))?;
     if queries.len() < num_queries {
         eprintln!(
             "warning: only {} of {num_queries} queries could be generated \
@@ -324,11 +352,27 @@ fn cmd_batch(args: &[String]) -> Result<String, String> {
         }
         planner = planner.with_density_cutoff(cutoff);
     }
-    // Same-source frontier sharing is on by default; `--no-frontier-sharing`
+    // Same-source profile sharing is on by default; `--no-profile-sharing`
     // makes every plan unit run its own forward polarity pass.
-    if flags.contains_key("no-frontier-sharing") {
-        planner = planner.without_frontier_sharing();
+    if flags.contains_key("no-profile-sharing") {
+        planner = planner.without_profile_sharing();
     }
+    // Dense-graph heuristic for profiles, mirroring the envelope cutoff:
+    // grouping turns off once the observed candidate-subgraph/graph vertex
+    // ratio exceeds the cutoff.
+    if let Some(v) = flags.get("profile-density-cutoff") {
+        let cutoff: f64 = parse_number(v, "profile density cutoff")?;
+        if !cutoff.is_finite() || cutoff < 0.0 {
+            return Err(format!("--profile-density-cutoff must be a ratio >= 0, got {v}"));
+        }
+        planner = planner.with_profile_density_cutoff(cutoff);
+    }
+    // `--profile-cache-size 0` disables cross-batch profile residency
+    // (groups still share one arrival profile within a batch).
+    let profile_cache_entries: Option<usize> = match flags.get("profile-cache-size") {
+        Some(v) => Some(parse_number(v, "profile cache size")?),
+        None => None,
+    };
     let graph = load_graph(graph_path)?;
     let text = std::fs::read_to_string(query_path)
         .map_err(|e| format!("cannot read {query_path}: {e}"))?;
@@ -342,6 +386,11 @@ fn cmd_batch(args: &[String]) -> Result<String, String> {
         (true, _) => engine.without_cache(),
         (false, Some(entries)) => engine.with_cache(CacheConfig::with_max_entries(entries)),
         (false, None) => engine,
+    };
+    engine = match profile_cache_entries {
+        Some(0) => engine.without_profile_cache(),
+        Some(entries) => engine.with_profile_cache(ProfileCacheConfig::with_max_entries(entries)),
+        None => engine,
     };
     let started = Instant::now();
     let (results, stats) = engine.run_batch_with_stats(&queries, threads);
@@ -385,17 +434,24 @@ fn cmd_batch(args: &[String]) -> Result<String, String> {
         ),
         None => "cache=off".to_string(),
     };
+    let profile_cell = match engine.profile_cache_stats() {
+        Some(p) => format!(
+            "profile_cache_hits={} profile_cache_entries={} profile_cache_bytes={}",
+            p.hits, p.entries, p.bytes
+        ),
+        None => "profile_cache=off".to_string(),
+    };
     out.push_str(&format!(
         "plan: units={} envelopes={} dedup={} shared={} envelope_answered={} \
-         frontier_groups={} frontier_answered={} degenerate={} {cache_cell} \
-         (pipeline runs {} for {} queries)\n",
+         profile_groups={} profile_answered={} degenerate={} {cache_cell} \
+         {profile_cell} (pipeline runs {} for {} queries)\n",
         stats.executed_units,
         stats.envelope_units,
         stats.dedup_answered,
         stats.shared_answered,
         stats.envelope_answered,
-        stats.frontier_groups,
-        stats.frontier_answered,
+        stats.profile_groups,
+        stats.profile_answered,
         stats.degenerate,
         stats.pipeline_runs(),
         stats.queries,
@@ -781,42 +837,110 @@ mod tests {
     }
 
     #[test]
-    fn batch_command_frontier_flags_control_the_planner() {
+    fn batch_command_profile_flags_control_the_planner() {
         let graph_path = fixture_file();
         let g = graph_path.to_str().unwrap();
         let query_path = std::env::temp_dir().join(format!(
-            "tspg_cli_frontier_{}_{:?}.txt",
+            "tspg_cli_profile_{}_{:?}.txt",
             std::process::id(),
             std::thread::current().id()
         ));
-        // A same-source fan-out: three targets, identical windows.
-        std::fs::write(&query_path, "0 7 2 7\n0 2 2 7\n0 3 2 7\n").unwrap();
+        // A same-source fan-out: three targets, mixed window begins.
+        std::fs::write(&query_path, "0 7 2 7\n0 2 3 7\n0 3 2 7\n").unwrap();
         let q = query_path.to_str().unwrap();
 
-        // Default planner: one frontier group spanning all three units.
+        // Default planner: one profile group spanning all three units, and
+        // the resident profile cache holding the group's source.
         let out = dispatch(&args(&["batch", g, q, "--quiet"])).unwrap();
         let plan = out.lines().last().unwrap();
-        assert!(plan.contains("frontier_groups=1"), "{plan}");
-        assert!(plan.contains("frontier_answered=3"), "{plan}");
+        assert!(plan.contains("profile_groups=1"), "{plan}");
+        assert!(plan.contains("profile_answered=3"), "{plan}");
+        assert!(plan.contains("profile_cache_entries=1"), "{plan}");
         assert!(plan.contains("pipeline runs 3 for 3 queries"), "{plan}");
 
-        // --no-frontier-sharing zeroes the overlay counters.
-        let out = dispatch(&args(&["batch", g, q, "--quiet", "--no-frontier-sharing"])).unwrap();
+        // --no-profile-sharing zeroes the overlay counters.
+        let out = dispatch(&args(&["batch", g, q, "--quiet", "--no-profile-sharing"])).unwrap();
         let plan = out.lines().last().unwrap();
-        assert!(plan.contains("frontier_groups=0"), "{plan}");
-        assert!(plan.contains("frontier_answered=0"), "{plan}");
+        assert!(plan.contains("profile_groups=0"), "{plan}");
+        assert!(plan.contains("profile_answered=0"), "{plan}");
 
-        // The density cutoff is validated.
+        // --profile-cache-size 0 turns residency off; a positive size keeps
+        // it on; a bad size is rejected.
+        let out =
+            dispatch(&args(&["batch", g, q, "--quiet", "--profile-cache-size", "0"])).unwrap();
+        assert!(out.lines().last().unwrap().contains("profile_cache=off"), "{out}");
+        let out =
+            dispatch(&args(&["batch", g, q, "--quiet", "--profile-cache-size", "16"])).unwrap();
+        assert!(out.lines().last().unwrap().contains("profile_cache_entries=1"), "{out}");
+        let err = dispatch(&args(&["batch", g, q, "--profile-cache-size", "lots"])).unwrap_err();
+        assert!(err.contains("profile cache size"), "{err}");
+
+        // The density cutoffs are validated.
         let out = dispatch(&args(&["batch", g, q, "--quiet", "--envelope-density-cutoff", "0.5"]))
+            .unwrap();
+        assert!(out.lines().last().unwrap().starts_with("plan:"), "{out}");
+        let out = dispatch(&args(&["batch", g, q, "--quiet", "--profile-density-cutoff", "0.5"]))
             .unwrap();
         assert!(out.lines().last().unwrap().starts_with("plan:"), "{out}");
         for bad in ["nope", "-0.5", "inf"] {
             let err =
                 dispatch(&args(&["batch", g, q, "--envelope-density-cutoff", bad])).unwrap_err();
             assert!(err.contains("density"), "{err}");
+            let err =
+                dispatch(&args(&["batch", g, q, "--profile-density-cutoff", bad])).unwrap_err();
+            assert!(err.contains("density"), "{err}");
         }
+        // A zero cutoff vetoes grouping outright (any observed density
+        // exceeds it once the engine has a signal; the first batch primes
+        // it, the second plans without groups).
+        let out =
+            dispatch(&args(&["batch", g, q, "--quiet", "--profile-density-cutoff", "0"])).unwrap();
+        assert!(out.lines().last().unwrap().starts_with("plan:"), "{out}");
 
         std::fs::remove_file(query_path).ok();
+        std::fs::remove_file(graph_path).ok();
+    }
+
+    #[test]
+    fn workload_command_fanout_knobs_generate_mixed_begin_bursts() {
+        let graph_path = fixture_file();
+        let g = graph_path.to_str().unwrap();
+
+        // Fan-out generation with jittered begins parses back and contains
+        // at least one source with differing begins.
+        let out = dispatch(&args(&[
+            "workload",
+            g,
+            "--queries",
+            "12",
+            "--theta",
+            "4",
+            "--seed",
+            "7",
+            "--fanout-sources",
+            "2",
+            "--begin-jitter",
+            "3",
+            "--end-spread",
+            "2",
+        ]))
+        .unwrap();
+        let queries = tspg_datasets::parse_queries(&out).unwrap();
+        assert!(!queries.is_empty());
+        let mut begins: HashMap<VertexId, Vec<i64>> = HashMap::new();
+        for q in &queries {
+            begins.entry(q.source).or_default().push(q.window.begin());
+        }
+        let mixed = begins.values().any(|b| b.iter().any(|&begin| begin != b[0]));
+        assert!(mixed, "begin jitter must mix begins: {out}");
+
+        // The jitter/spread knobs demand the fan-out generator.
+        for knob in ["--begin-jitter", "--end-spread"] {
+            let err =
+                dispatch(&args(&["workload", g, "--queries", "4", "--theta", "4", knob, "2"]))
+                    .unwrap_err();
+            assert!(err.contains("fanout-sources"), "{err}");
+        }
         std::fs::remove_file(graph_path).ok();
     }
 

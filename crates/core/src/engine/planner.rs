@@ -49,9 +49,15 @@ pub const DEFAULT_ENVELOPE_SPAN_FACTOR: f64 = 2.0;
 /// exceeds this value (see [`PlannerConfig::envelope_density_cutoff`]).
 pub const DEFAULT_ENVELOPE_DENSITY_CUTOFF: f64 = 0.8;
 
+/// Default dense-graph cutoff for profile sharing: grouping is disabled
+/// once the engine's observed average `clamp superset H vertices / graph
+/// vertices` ratio exceeds this value (see
+/// [`PlannerConfig::profile_density_cutoff`]).
+pub const DEFAULT_PROFILE_DENSITY_CUTOFF: f64 = 0.8;
+
 /// Planner policy knobs (the CLI exposes them as `--envelope-factor`,
 /// `--no-envelopes`, `--envelope-density-cutoff` and
-/// `--no-frontier-sharing`).
+/// `--no-profile-sharing`).
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct PlannerConfig {
     /// Synthesize envelope units for overlapping windows. When `false` the
@@ -59,8 +65,8 @@ pub struct PlannerConfig {
     pub envelopes: bool,
     /// Cost guard `k ≥ 1`: an envelope's span may not exceed `k ×` the span
     /// of the widest window merged into it. The same factor guards
-    /// same-source frontier hulls: a unit joins a frontier group only while
-    /// the hull's span stays within `k ×` the unit's own span.
+    /// same-source profile hulls: a unit joins a profile group only while
+    /// the hull's span stays within `k ×` every member's own span.
     pub envelope_span_factor: f64,
     /// Dense-graph heuristic (the ROADMAP item): when the engine's observed
     /// average `tspG vertices / graph vertices` ratio exceeds this cutoff,
@@ -69,10 +75,19 @@ pub struct PlannerConfig {
     /// full-graph run, so the synthesized envelope run is pure overhead.
     /// Containment sharing and dedup are unaffected (they never add runs).
     pub envelope_density_cutoff: f64,
-    /// Group same-source units (same window begin, span-guarded end hull)
-    /// so the executor computes the target-agnostic forward polarity pass
-    /// once per group instead of once per unit.
-    pub frontier_sharing: bool,
+    /// Group same-source units (begins hulled under the span-factor guard)
+    /// so the executor computes one target-agnostic arrival profile
+    /// ([`crate::polarity::ArrivalProfile`]) per group instead of one
+    /// forward pass per unit.
+    pub profile_sharing: bool,
+    /// Dense-graph heuristic for profile sharing, mirroring
+    /// `envelope_density_cutoff`: when the engine's observed average
+    /// `clamp superset H vertices / graph vertices` ratio exceeds this
+    /// cutoff, profile grouping is disabled for the batch — on dense
+    /// graphs the clamped candidate subgraph `H` is nearly the whole
+    /// graph, so the profile pass plus the member reruns cost more than
+    /// the plain per-unit pipeline.
+    pub profile_density_cutoff: f64,
 }
 
 impl Default for PlannerConfig {
@@ -81,7 +96,8 @@ impl Default for PlannerConfig {
             envelopes: true,
             envelope_span_factor: DEFAULT_ENVELOPE_SPAN_FACTOR,
             envelope_density_cutoff: DEFAULT_ENVELOPE_DENSITY_CUTOFF,
-            frontier_sharing: true,
+            profile_sharing: true,
+            profile_density_cutoff: DEFAULT_PROFILE_DENSITY_CUTOFF,
         }
     }
 }
@@ -102,10 +118,10 @@ impl PlannerConfig {
         Self { envelope_span_factor: factor, ..Self::default() }
     }
 
-    /// Disables same-source frontier sharing (every unit runs its own
+    /// Disables same-source profile sharing (every unit runs its own
     /// forward polarity pass — the PR 4 behaviour).
-    pub fn without_frontier_sharing(mut self) -> Self {
-        self.frontier_sharing = false;
+    pub fn without_profile_sharing(mut self) -> Self {
+        self.profile_sharing = false;
         self
     }
 
@@ -115,6 +131,13 @@ impl PlannerConfig {
     /// (every observation counts as dense — the conservative end).
     pub fn with_density_cutoff(mut self, cutoff: f64) -> Self {
         self.envelope_density_cutoff = if cutoff.is_finite() { cutoff.max(0.0) } else { 0.0 };
+        self
+    }
+
+    /// Sets the dense-graph cutoff for profile sharing, with the same
+    /// clamping rules as [`PlannerConfig::with_density_cutoff`].
+    pub fn with_profile_density_cutoff(mut self, cutoff: f64) -> Self {
+        self.profile_density_cutoff = if cutoff.is_finite() { cutoff.max(0.0) } else { 0.0 };
         self
     }
 }
@@ -166,24 +189,25 @@ pub struct Follower {
     pub indexes: Vec<usize>,
 }
 
-/// A set of plan units sharing one source and one window begin: the
-/// executor computes the target-agnostic forward polarity pass
-/// ([`crate::polarity::SourceFrontier`]) over the group's hull window once
-/// and every member unit restricts it to its own window instead of
-/// re-running it.
+/// A set of plan units sharing one source: the executor computes one
+/// target-agnostic arrival profile
+/// ([`crate::polarity::ArrivalProfile`]) over the group's hull window and
+/// every member unit clamps it at its own `(begin, end)` instead of
+/// running a forward pass.
 ///
-/// Exactness: restriction is the member-end clamp of the hull frontier,
-/// which is exact for same-begin windows (a strict temporal path arriving
-/// at `τ ≤ e` lies entirely in `[b, e]`); the shared pass does not avoid
-/// any member's target, so each member runs the exact pipeline on the
-/// candidate subgraph the clamped frontier defines (`tspG ⊆ G_q ⊆ H ⊆ G` —
-/// the Definition-2 rerun argument), producing the byte-identical tspG.
+/// Exactness: the profile stores earliest arrival as a step function of
+/// the start bound, so the clamp reproduces a fresh forward pass for
+/// *every* member window inside the hull — begins no longer need to match
+/// (the PR 5 restriction). The shared pass does not avoid any member's
+/// target, so each member runs the exact pipeline on the candidate
+/// subgraph the clamped frontier defines (`tspG ⊆ G_q ⊆ H ⊆ G` — the
+/// Definition-2 rerun argument), producing the byte-identical tspG.
 #[derive(Clone, Debug)]
-pub struct FrontierGroup {
+pub struct ProfileGroup {
     /// The shared source vertex.
     pub source: VertexId,
-    /// Hull window `[common begin, max member end]` the frontier's forward
-    /// pass runs over.
+    /// Hull window `[min member begin, max member end]` the profile's
+    /// forward pass runs over.
     pub window: TimeInterval,
     /// Indices into [`BatchPlan::units`] of the member units (≥ 2).
     pub units: Vec<usize>,
@@ -199,10 +223,10 @@ pub struct BatchPlan {
     shared_answered: usize,
     envelope_answered: usize,
     envelope_units: usize,
-    frontier_groups: Vec<FrontierGroup>,
-    /// `unit_group[i]` is the frontier group unit `i` belongs to, if any.
+    profile_groups: Vec<ProfileGroup>,
+    /// `unit_group[i]` is the profile group unit `i` belongs to, if any.
     unit_group: Vec<Option<usize>>,
-    frontier_answered: usize,
+    profile_answered: usize,
 }
 
 impl BatchPlan {
@@ -247,28 +271,28 @@ impl BatchPlan {
         self.envelope_units
     }
 
-    /// The same-source frontier groups of the plan (each with ≥ 2 member
+    /// The same-source profile groups of the plan (each with ≥ 2 member
     /// units), in deterministic first-appearance order.
-    pub fn frontier_groups(&self) -> &[FrontierGroup] {
-        &self.frontier_groups
+    pub fn profile_groups(&self) -> &[ProfileGroup] {
+        &self.profile_groups
     }
 
-    /// The frontier group the unit at `index` belongs to, if any.
-    pub fn unit_frontier_group(&self, index: usize) -> Option<&FrontierGroup> {
-        self.unit_frontier_group_index(index).map(|g| &self.frontier_groups[g])
+    /// The profile group the unit at `index` belongs to, if any.
+    pub fn unit_profile_group(&self, index: usize) -> Option<&ProfileGroup> {
+        self.unit_profile_group_index(index).map(|g| &self.profile_groups[g])
     }
 
-    /// Index into [`BatchPlan::frontier_groups`] of the unit's group, if
-    /// any (the executor keys its published frontiers by this).
-    pub fn unit_frontier_group_index(&self, index: usize) -> Option<usize> {
+    /// Index into [`BatchPlan::profile_groups`] of the unit's group, if
+    /// any (the executor keys its published profiles by this).
+    pub fn unit_profile_group_index(&self, index: usize) -> Option<usize> {
         self.unit_group.get(index).copied().flatten()
     }
 
-    /// Batch queries answered by (or from the tspG of) a unit that shares a
-    /// forward frontier — an overlay counter (such queries are also counted
-    /// by the regular buckets).
-    pub fn frontier_answered(&self) -> usize {
-        self.frontier_answered
+    /// Batch queries answered by (or from the tspG of) a unit that shares
+    /// an arrival profile — an overlay counter (such queries are also
+    /// counted by the regular buckets).
+    pub fn profile_answered(&self) -> usize {
+        self.profile_answered
     }
 }
 
@@ -287,12 +311,20 @@ struct Member {
 /// graph vertices` ratio (`None` before the first full-graph run); when it
 /// exceeds [`PlannerConfig::envelope_density_cutoff`] envelope synthesis is
 /// disabled for this batch — the dense-graph heuristic — while containment
-/// sharing, dedup and frontier grouping stay on (they never add pipeline
+/// sharing, dedup and profile grouping stay on (they never add pipeline
 /// runs).
+///
+/// `observed_profile_density` is the analogous running average for shared
+/// runs: `clamp superset H vertices / graph vertices` (`None` before the
+/// first shared run); above
+/// [`PlannerConfig::profile_density_cutoff`] profile grouping is disabled
+/// for this batch — on dense graphs the clamped candidate subgraph is
+/// nearly the whole graph, making the shared pass pure overhead.
 pub fn plan(
     pending: &[(usize, QuerySpec)],
     config: &PlannerConfig,
     observed_density: Option<f64>,
+    observed_profile_density: Option<f64>,
 ) -> BatchPlan {
     // 1. Dedup: canonical query -> every batch position asking it. The
     //    distinct list preserves first-appearance order so that planning is
@@ -343,33 +375,37 @@ pub fn plan(
     // 4. Deterministic unit order: first batch appearance.
     plan.units.sort_by_key(PlanUnit::first_index);
 
-    // 5. Frontier grouping: units sharing (source, window begin) — the
-    //    forward polarity pass over the hull `[begin, max end]` is exact
-    //    for every member after the member-end clamp. The span factor
-    //    guards the hull like it guards envelopes: a unit joins only while
-    //    the hull's span stays within `factor ×` its own span, so a narrow
-    //    window never pays for a frontier computed over a vastly wider one.
-    //    (The frontier guard always uses the configured factor: hull width
-    //    is a per-member scan-cost concern, not the envelope-rerun concern
-    //    the density heuristic gates.)
-    if config.frontier_sharing {
-        group_frontiers(config.envelope_span_factor.max(1.0), &mut plan);
+    // 5. Profile grouping: units sharing a source — the arrival-profile
+    //    pass over the hull `[min begin, max end]` clamps exactly at every
+    //    member window. The span factor guards the hull like it guards
+    //    envelopes: a unit joins only while the hull's span stays within
+    //    `factor ×` *every* member's own span, so a narrow window never
+    //    pays for a profile computed over a vastly wider one. (The profile
+    //    guard always uses the configured factor — hull width is a
+    //    per-member scan-cost concern — but the *profile* density signal
+    //    gates grouping entirely on dense graphs, where the clamped
+    //    candidate subgraph approaches the whole graph.)
+    let profile_dense =
+        observed_profile_density.is_some_and(|ratio| ratio > config.profile_density_cutoff);
+    if config.profile_sharing && !profile_dense {
+        group_profiles(config.envelope_span_factor.max(1.0), &mut plan);
     }
     plan
 }
 
 /// Step 5 of [`plan`]: partition the (sorted) units into same-source
-/// frontier groups. Units bucket by `(source, window begin)` in
-/// first-appearance order; within a bucket, units ordered by descending
-/// window end greedily join the running hull while `hull span ≤ factor ×
-/// unit span`, else a new hull starts. Clusters of one unit share nothing
-/// and are left ungrouped.
-fn group_frontiers(factor: f64, plan: &mut BatchPlan) {
-    let mut by_key: HashMap<(VertexId, i64), usize> = HashMap::new();
+/// profile groups. Units bucket by source in first-appearance order;
+/// within a bucket, units ordered by descending window end greedily join
+/// the running hull while `hull span ≤ factor × min member span`
+/// (checking against the narrowest member keeps the guard invariant for
+/// units that joined before the hull widened towards earlier begins),
+/// else a new hull starts. Clusters of one unit share nothing and are
+/// left ungrouped.
+fn group_profiles(factor: f64, plan: &mut BatchPlan) {
+    let mut by_source: HashMap<VertexId, usize> = HashMap::new();
     let mut buckets: Vec<Vec<usize>> = Vec::new();
     for (index, unit) in plan.units.iter().enumerate() {
-        let key = (unit.query.source, unit.query.window.begin());
-        let slot = *by_key.entry(key).or_insert_with(|| {
+        let slot = *by_source.entry(unit.query.source).or_insert_with(|| {
             buckets.push(Vec::new());
             buckets.len() - 1
         });
@@ -385,37 +421,40 @@ fn group_frontiers(factor: f64, plan: &mut BatchPlan) {
             .sort_by_key(|&index| (std::cmp::Reverse(plan.units[index].query.window.end()), index));
         let mut cluster: Vec<usize> = Vec::new();
         let mut hull = plan.units[bucket[0]].query.window;
+        let mut min_span = i64::MAX;
         for &index in &bucket {
             let window = plan.units[index].query.window;
-            if hull.span() as f64 <= factor * window.span() as f64 {
+            let grown = hull.hull(&window);
+            let narrowest = min_span.min(window.span());
+            if grown.span() as f64 <= factor * narrowest as f64 {
                 cluster.push(index);
+                hull = grown;
+                min_span = narrowest;
             } else {
-                flush_frontier_cluster(&mut cluster, hull, plan);
+                flush_profile_cluster(&mut cluster, hull, plan);
                 hull = window;
+                min_span = window.span();
                 cluster.push(index);
             }
         }
-        flush_frontier_cluster(&mut cluster, hull, plan);
+        flush_profile_cluster(&mut cluster, hull, plan);
     }
 }
 
-/// Publishes one frontier cluster as a [`FrontierGroup`] if it has at
+/// Publishes one profile cluster as a [`ProfileGroup`] if it has at
 /// least two members, and clears it either way.
-fn flush_frontier_cluster(cluster: &mut Vec<usize>, hull: TimeInterval, plan: &mut BatchPlan) {
+fn flush_profile_cluster(cluster: &mut Vec<usize>, hull: TimeInterval, plan: &mut BatchPlan) {
     if cluster.len() >= 2 {
-        let group = plan.frontier_groups.len();
+        let group = plan.profile_groups.len();
         let source = plan.units[cluster[0]].query.source;
         for &index in cluster.iter() {
             plan.unit_group[index] = Some(group);
             let unit = &plan.units[index];
-            plan.frontier_answered +=
+            plan.profile_answered +=
                 unit.direct.len() + unit.followers.iter().map(|f| f.indexes.len()).sum::<usize>();
         }
-        debug_assert!(cluster.iter().all(|&i| {
-            let w = plan.units[i].query.window;
-            w.begin() == hull.begin() && hull.contains_interval(&w)
-        }));
-        plan.frontier_groups.push(FrontierGroup {
+        debug_assert!(cluster.iter().all(|&i| hull.contains_interval(&plan.units[i].query.window)));
+        plan.profile_groups.push(ProfileGroup {
             source,
             window: hull,
             units: std::mem::take(cluster),
@@ -547,11 +586,11 @@ mod tests {
     }
 
     fn plan_default(queries: &[QuerySpec]) -> BatchPlan {
-        plan(&indexed(queries), &PlannerConfig::default(), None)
+        plan(&indexed(queries), &PlannerConfig::default(), None, None)
     }
 
     fn plan_containment(queries: &[QuerySpec]) -> BatchPlan {
-        plan(&indexed(queries), &PlannerConfig::containment_only(), None)
+        plan(&indexed(queries), &PlannerConfig::containment_only(), None, None)
     }
 
     /// Every batch position must be answered by exactly one plan entry.
@@ -650,7 +689,7 @@ mod tests {
         // A tighter guard splits the chain: [0,8] (span 9 ≤ 1.5×6) absorbs
         // the first two, but growing to [0,12] (span 13 > 1.5×7) is vetoed,
         // so [6,12] stays its own plain unit.
-        let tight = plan(&indexed(&queries), &PlannerConfig::with_span_factor(1.5), None);
+        let tight = plan(&indexed(&queries), &PlannerConfig::with_span_factor(1.5), None, None);
         assert_eq!(tight.num_units(), 2);
         assert_eq!(tight.envelope_units(), 1);
         assert_eq!(tight.envelope_answered(), 2);
@@ -663,7 +702,7 @@ mod tests {
     #[test]
     fn span_factor_one_degenerates_to_containment_only() {
         let queries = [q(0, 1, 0, 5), q(0, 1, 3, 8), q(0, 1, 1, 4)];
-        let strict = plan(&indexed(&queries), &PlannerConfig::with_span_factor(1.0), None);
+        let strict = plan(&indexed(&queries), &PlannerConfig::with_span_factor(1.0), None, None);
         let containment = plan_containment(&queries);
         assert_eq!(strict.num_units(), containment.num_units());
         assert_eq!(strict.envelope_units(), 0);
@@ -794,50 +833,50 @@ mod tests {
         assert_eq!(plan.planned_queries(), 0);
         assert_eq!(plan.dedup_answered(), 0);
         assert_eq!(plan.envelope_units(), 0);
-        assert!(plan.frontier_groups().is_empty());
-        assert_eq!(plan.frontier_answered(), 0);
+        assert!(plan.profile_groups().is_empty());
+        assert_eq!(plan.profile_answered(), 0);
     }
 
     #[test]
-    fn same_source_same_begin_units_form_a_frontier_group() {
+    fn same_source_same_begin_units_form_a_profile_group() {
         // Three targets fanned out from source 0, same window: one group.
         let queries = [q(0, 1, 2, 7), q(0, 2, 2, 7), q(0, 3, 2, 7), q(5, 6, 2, 7)];
         let plan = plan_default(&queries);
         assert_eq!(plan.num_units(), 4);
-        assert_eq!(plan.frontier_groups().len(), 1);
-        let group = &plan.frontier_groups()[0];
+        assert_eq!(plan.profile_groups().len(), 1);
+        let group = &plan.profile_groups()[0];
         assert_eq!(group.source, 0);
         assert_eq!(group.window, TimeInterval::new(2, 7));
         assert_eq!(group.units.len(), 3);
-        assert_eq!(plan.frontier_answered(), 3);
+        assert_eq!(plan.profile_answered(), 3);
         for &index in &group.units {
-            assert_eq!(plan.unit_frontier_group_index(index), Some(0));
-            assert!(std::ptr::eq(plan.unit_frontier_group(index).unwrap(), group));
+            assert_eq!(plan.unit_profile_group_index(index), Some(0));
+            assert!(std::ptr::eq(plan.unit_profile_group(index).unwrap(), group));
         }
         // The (5, 6) unit is ungrouped (a single-unit bucket shares nothing).
         let lone = (0..plan.num_units())
             .find(|&i| plan.units()[i].query.source == 5)
             .expect("unit exists");
-        assert_eq!(plan.unit_frontier_group_index(lone), None);
+        assert_eq!(plan.unit_profile_group_index(lone), None);
     }
 
     #[test]
-    fn frontier_hulls_absorb_same_begin_ends_within_the_span_factor() {
+    fn profile_hulls_absorb_same_begin_ends_within_the_span_factor() {
         // Same source and begin, ends 9 / 7 / 5: hull [2, 9] (span 8) holds
         // [2, 7] (span 6, 8 <= 2x6) and [2, 5] (span 4, 8 <= 2x4).
         let queries = [q(0, 1, 2, 9), q(0, 2, 2, 7), q(0, 3, 2, 5)];
         let plan = plan_default(&queries);
-        assert_eq!(plan.frontier_groups().len(), 1);
-        assert_eq!(plan.frontier_groups()[0].window, TimeInterval::new(2, 9));
-        assert_eq!(plan.frontier_groups()[0].units.len(), 3);
+        assert_eq!(plan.profile_groups().len(), 1);
+        assert_eq!(plan.profile_groups()[0].window, TimeInterval::new(2, 9));
+        assert_eq!(plan.profile_groups()[0].units.len(), 3);
 
         // A far narrower member is guarded out: [2, 2] (span 1) would need
         // the hull span 8 <= 2x1 — it stays ungrouped.
         let queries = [q(0, 1, 2, 9), q(0, 2, 2, 7), q(0, 3, 2, 2)];
         let plan = plan_default(&queries);
-        assert_eq!(plan.frontier_groups().len(), 1);
-        assert_eq!(plan.frontier_groups()[0].units.len(), 2);
-        assert_eq!(plan.frontier_answered(), 2);
+        assert_eq!(plan.profile_groups().len(), 1);
+        assert_eq!(plan.profile_groups()[0].units.len(), 2);
+        assert_eq!(plan.profile_answered(), 2);
     }
 
     #[test]
@@ -846,43 +885,66 @@ mod tests {
         // form their own hull [0, 2].
         let queries = [q(0, 1, 0, 9), q(0, 2, 0, 8), q(0, 3, 0, 2), q(0, 4, 0, 1)];
         let plan = plan_default(&queries);
-        assert_eq!(plan.frontier_groups().len(), 2);
-        assert_eq!(plan.frontier_groups()[0].window, TimeInterval::new(0, 9));
-        assert_eq!(plan.frontier_groups()[1].window, TimeInterval::new(0, 2));
-        assert_eq!(plan.frontier_answered(), 4);
+        assert_eq!(plan.profile_groups().len(), 2);
+        assert_eq!(plan.profile_groups()[0].window, TimeInterval::new(0, 9));
+        assert_eq!(plan.profile_groups()[1].window, TimeInterval::new(0, 2));
+        assert_eq!(plan.profile_answered(), 4);
     }
 
     #[test]
-    fn different_begins_or_sources_never_share_a_frontier() {
+    fn mixed_begins_share_a_profile_group_but_sources_never_do() {
+        // Begins 2 and 3 hull to [2, 7] (span 6 ≤ 2 × 5) — the cross-begin
+        // sharing PR 5 could not do. The source-1 unit stays alone.
         let plan = plan_default(&[q(0, 1, 2, 7), q(0, 2, 3, 7), q(1, 2, 2, 7)]);
-        assert!(plan.frontier_groups().is_empty());
-        assert_eq!(plan.frontier_answered(), 0);
+        assert_eq!(plan.profile_groups().len(), 1);
+        let group = &plan.profile_groups()[0];
+        assert_eq!(group.source, 0);
+        assert_eq!(group.window, TimeInterval::new(2, 7));
+        assert_eq!(group.units.len(), 2);
+        assert_eq!(plan.profile_answered(), 2);
     }
 
     #[test]
-    fn frontier_sharing_can_be_disabled() {
+    fn cross_begin_hulls_respect_every_members_span_guard() {
+        // [2, 9] (span 8) and [5, 7] (span 3): the hull [2, 9] would charge
+        // the narrow window 8 > 2 × 3 — guarded out, no group.
+        let plan = plan_default(&[q(0, 1, 2, 9), q(0, 2, 5, 7)]);
+        assert!(plan.profile_groups().is_empty());
+        // Widening must never betray a member already admitted: [5, 8]
+        // (span 4) absorbs [2, 8] (hull span 7 ≤ 2 × 4), but [5, 7]
+        // (span 3) is then checked against that *widened* hull — 7 > 2 × 3
+        // — and stays out, even though it fit the original [5, 8].
+        let plan = plan_default(&[q(0, 1, 5, 8), q(0, 2, 2, 8), q(0, 3, 5, 7)]);
+        assert_eq!(plan.profile_groups().len(), 1, "{:?}", plan.profile_groups());
+        assert_eq!(plan.profile_groups()[0].window, TimeInterval::new(2, 8));
+        assert_eq!(plan.profile_groups()[0].units.len(), 2);
+    }
+
+    #[test]
+    fn profile_sharing_can_be_disabled() {
         let queries = [q(0, 1, 2, 7), q(0, 2, 2, 7)];
         let plan = super::plan(
             &indexed(&queries),
-            &PlannerConfig::default().without_frontier_sharing(),
+            &PlannerConfig::default().without_profile_sharing(),
+            None,
             None,
         );
-        assert!(plan.frontier_groups().is_empty());
+        assert!(plan.profile_groups().is_empty());
         assert_eq!(plan.num_units(), 2, "unit planning is unchanged");
     }
 
     #[test]
-    fn frontier_groups_span_envelope_and_containment_units() {
+    fn profile_groups_span_envelope_and_containment_units() {
         // Same source 0, same begin: an envelope unit ([1,5] ∪ [3,8] → [1,8]
         // ... begins differ there, so use same-begin shapes) — here a
         // covering unit with a follower plus a plain unit on another target.
         let queries = [q(0, 1, 2, 9), q(0, 1, 3, 5), q(0, 2, 2, 8)];
         let plan = plan_default(&queries);
         assert_eq!(plan.num_units(), 2);
-        assert_eq!(plan.frontier_groups().len(), 1);
-        // frontier_answered counts the covering unit's direct slot, its
+        assert_eq!(plan.profile_groups().len(), 1);
+        // profile_answered counts the covering unit's direct slot, its
         // follower, and the other unit's direct slot.
-        assert_eq!(plan.frontier_answered(), 3);
+        assert_eq!(plan.profile_answered(), 3);
     }
 
     #[test]
@@ -891,22 +953,48 @@ mod tests {
         let config = PlannerConfig::default();
         // Below the cutoff (or no observation): the overlap still merges.
         for observed in [None, Some(0.5), Some(DEFAULT_ENVELOPE_DENSITY_CUTOFF)] {
-            let plan = super::plan(&indexed(&queries), &config, observed);
+            let plan = super::plan(&indexed(&queries), &config, observed, None);
             assert_eq!(plan.envelope_units(), 1, "observed={observed:?}");
         }
         // Above the cutoff: containment-only behaviour for this batch.
-        let plan = super::plan(&indexed(&queries), &config, Some(0.9));
+        let plan = super::plan(&indexed(&queries), &config, Some(0.9), None);
         assert_eq!(plan.envelope_units(), 0);
         assert_eq!(plan.num_units(), 2);
         // A cutoff >= 1 can never trip (the ratio is bounded by 1).
         let relaxed = config.with_density_cutoff(1.0);
-        let plan = super::plan(&indexed(&queries), &relaxed, Some(1.0));
+        let plan = super::plan(&indexed(&queries), &relaxed, Some(1.0), None);
         assert_eq!(plan.envelope_units(), 1);
         // Degenerate cutoffs clamp to the conservative end (always dense).
         for bad in [f64::NAN, f64::NEG_INFINITY, -2.0] {
             assert_eq!(config.with_density_cutoff(bad).envelope_density_cutoff, 0.0, "{bad}");
         }
-        let plan = super::plan(&indexed(&queries), &config.with_density_cutoff(0.0), Some(0.01));
+        let plan =
+            super::plan(&indexed(&queries), &config.with_density_cutoff(0.0), Some(0.01), None);
         assert_eq!(plan.envelope_units(), 0);
+    }
+
+    #[test]
+    fn dense_profile_observations_disable_grouping() {
+        let queries = [q(0, 1, 2, 7), q(0, 2, 3, 7)];
+        let config = PlannerConfig::default();
+        // Below the cutoff (or no observation): the fan-out still groups.
+        for observed in [None, Some(0.5), Some(DEFAULT_PROFILE_DENSITY_CUTOFF)] {
+            let plan = super::plan(&indexed(&queries), &config, None, observed);
+            assert_eq!(plan.profile_groups().len(), 1, "observed={observed:?}");
+        }
+        // Above the cutoff: grouping is pure overhead on dense graphs.
+        let plan = super::plan(&indexed(&queries), &config, None, Some(0.9));
+        assert!(plan.profile_groups().is_empty());
+        assert_eq!(plan.num_units(), 2, "unit planning is unchanged");
+        // The envelope density signal does not gate profile grouping.
+        let plan = super::plan(&indexed(&queries), &config, Some(0.9), None);
+        assert_eq!(plan.profile_groups().len(), 1);
+        // Degenerate cutoffs clamp to the conservative end (always dense).
+        for bad in [f64::NAN, f64::NEG_INFINITY, -2.0] {
+            assert_eq!(config.with_profile_density_cutoff(bad).profile_density_cutoff, 0.0);
+        }
+        let strict = config.with_profile_density_cutoff(0.0);
+        let plan = super::plan(&indexed(&queries), &strict, None, Some(0.01));
+        assert!(plan.profile_groups().is_empty());
     }
 }

@@ -60,13 +60,15 @@ pub use bidir::{BidirOptions, BidirScratch, BidirSearcher, BidirStats};
 pub use eev::{
     escaped_edges_verification, escaped_edges_verification_with, EevOutcome, EevScratch, EevStats,
 };
-pub use engine::cache::{CacheConfig, CacheStats};
+pub use engine::cache::{CacheConfig, CacheStats, ProfileCacheConfig, ProfileCacheStats};
 pub use engine::planner::{
-    BatchPlan, FrontierGroup, PlannerConfig, DEFAULT_ENVELOPE_DENSITY_CUTOFF,
-    DEFAULT_ENVELOPE_SPAN_FACTOR,
+    BatchPlan, PlannerConfig, ProfileGroup, DEFAULT_ENVELOPE_DENSITY_CUTOFF,
+    DEFAULT_ENVELOPE_SPAN_FACTOR, DEFAULT_PROFILE_DENSITY_CUTOFF,
 };
 pub use engine::{BatchStats, QueryEngine, QueryScratch, QuerySpec};
-pub use polarity::{compute_polarity, PolarityScratch, PolarityTimes, SourceFrontier};
+pub use polarity::{
+    compute_polarity, ArrivalProfile, PolarityScratch, PolarityTimes, SourceFrontier,
+};
 pub use quick_ubg::quick_upper_bound_graph;
 pub use tcv::{TcvTables, TcvValue};
 pub use tight_ubg::tight_upper_bound_graph;

@@ -204,10 +204,12 @@ fn backward_pass(
 /// temporal path arriving at time `τ` uses only edge times in
 /// `[begin, τ]`, so for any member window `[begin, e]` with the frontier's
 /// begin, clamping (`A₀(u)` kept iff `A₀(u) ≤ e`) yields precisely the
-/// arrivals of a fresh target-agnostic pass over `[begin, e]`. This is why
-/// the planner groups units by `(source, window begin)` and hulls their
-/// ends.
-#[derive(Clone, Debug)]
+/// arrivals of a fresh target-agnostic pass over `[begin, e]`. Arbitrary
+/// begins need the step function an [`ArrivalProfile`] records; a profile
+/// clamp materializes exactly this frontier for any member window inside
+/// the hull, which is why the planner groups units by source alone and
+/// hulls their windows.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SourceFrontier {
     source: VertexId,
     window: TimeInterval,
@@ -216,6 +218,20 @@ pub struct SourceFrontier {
     /// Vertices with a label (including `s` itself), ascending — the scan
     /// list of the frontier-restricted `G_q` construction.
     reachable: Vec<VertexId>,
+}
+
+impl Default for SourceFrontier {
+    /// An empty frontier (no vertex labelled) over the degenerate window
+    /// `[0, 0]` — the rest state of a scratch slot that a profile clamp
+    /// ([`ArrivalProfile::clamp_into`]) fills in place.
+    fn default() -> Self {
+        Self {
+            source: 0,
+            window: TimeInterval::point(0),
+            arrival: Vec::new(),
+            reachable: Vec::new(),
+        }
+    }
 }
 
 impl SourceFrontier {
@@ -311,6 +327,210 @@ pub fn compute_polarity_into_with_frontier(
     let end = window.end();
     times.arrival.extend(frontier.arrival.iter().map(|a| a.filter(|&time| time <= end)));
     backward_pass(graph, s, t, window, &mut times.departure, scratch);
+}
+
+/// A per-source **arrival profile**: earliest arrival at every vertex as a
+/// step function of the query's *start bound*, computed by one
+/// target-agnostic forward pass over a hull window and clamped — exactly —
+/// at any member `(begin, end)` inside that hull.
+///
+/// Where a [`SourceFrontier`] stores one arrival per vertex (valid for a
+/// single shared begin), the profile stores per vertex the **Pareto front**
+/// of `(first-edge time f, arrival a)` pairs over strict temporal walks
+/// from the source inside the hull: `(f₁, a₁)` is dominated by `(f₂, a₂)`
+/// iff `f₂ ≥ f₁ ∧ a₂ ≤ a₁` (a later start that arrives no later answers
+/// every query the earlier start answers). Kept non-dominated, the front is
+/// strictly ascending in both `f` and `a`, so for a member window
+/// `[b, e] ⊆ hull` the earliest arrival at `v` is the *first* pair with
+/// `f ≥ b`, kept iff its `a ≤ e` — a walk is valid in `[b, e]` iff its
+/// strictly increasing edge times all lie in `[b, e]`, i.e. iff `f ≥ b`
+/// and `a ≤ e`. Clamping therefore reproduces a fresh target-agnostic pass
+/// over `[b, e]` for **every** begin in the hull, not just a shared one —
+/// this is the earliest-arrival-as-function-of-start-bound formulation of
+/// Huang et al.'s temporal traversals.
+///
+/// The resident representation is a flattened CSR (`starts`/`pairs`,
+/// following the Kairos compact time-indexed-layout direction) so a cached
+/// profile costs three dense arrays, accounted by [`approx_bytes`]
+/// (`ArrivalProfile::approx_bytes`) in the engine's profile cache.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArrivalProfile {
+    source: VertexId,
+    window: TimeInterval,
+    /// CSR offsets into `pairs`, length `num_vertices + 1`.
+    starts: Vec<u32>,
+    /// Concatenated per-vertex Pareto fronts, each strictly ascending in
+    /// both components.
+    pairs: Vec<(Timestamp, Timestamp)>,
+    /// Vertices with a non-empty front, plus the source itself, ascending.
+    reachable: Vec<VertexId>,
+}
+
+impl ArrivalProfile {
+    /// Runs the target-agnostic Pareto forward pass from `source` over the
+    /// hull `window`.
+    ///
+    /// An out-of-range source yields an empty profile whose every clamp is
+    /// the empty frontier, mirroring [`SourceFrontier::compute`].
+    pub fn compute(graph: &TemporalGraph, source: VertexId, window: TimeInterval) -> Self {
+        let n = graph.num_vertices();
+        let mut fronts: Vec<Vec<(Timestamp, Timestamp)>> = vec![Vec::new(); n];
+        if (source as usize) < n {
+            let mut queue = VecDeque::new();
+            let mut queued = vec![false; n];
+            queue.push_back(source);
+            queued[source as usize] = true;
+            while let Some(u) = queue.pop_front() {
+                queued[u as usize] = false;
+                for entry in graph.out_neighbors_in(u, window) {
+                    let v = entry.neighbor;
+                    // Walks into the source are never useful: a fresh start
+                    // at the outgoing edge dominates them (larger `f`, same
+                    // arrival). Self-loops are dominated for the same reason.
+                    if v == source || v == u {
+                        continue;
+                    }
+                    let tau = entry.time;
+                    let first = if u == source {
+                        // Fresh start: the walk's first edge is this edge.
+                        tau
+                    } else {
+                        // Best extendable walk into `u`: the last front pair
+                        // arriving strictly before `tau` (fronts ascend in
+                        // both components, so it carries the largest `f`).
+                        let front = &fronts[u as usize];
+                        let idx = front.partition_point(|&(_, a)| a < tau);
+                        if idx == 0 {
+                            continue;
+                        }
+                        front[idx - 1].0
+                    };
+                    if insert_front_pair(&mut fronts[v as usize], (first, tau))
+                        && tau != window.end()
+                        && !queued[v as usize]
+                    {
+                        // A pair arriving exactly at the hull end cannot
+                        // extend any walk, so it never needs re-relaxing.
+                        queued[v as usize] = true;
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        let mut starts = Vec::with_capacity(n + 1);
+        let mut pairs = Vec::new();
+        let mut reachable = Vec::new();
+        starts.push(0u32);
+        for (v, front) in fronts.iter().enumerate() {
+            pairs.extend_from_slice(front);
+            starts.push(pairs.len() as u32);
+            if !front.is_empty() || (v as VertexId == source && (source as usize) < n) {
+                reachable.push(v as VertexId);
+            }
+        }
+        Self { source, window, starts, pairs, reachable }
+    }
+
+    /// The source vertex the profile was computed from.
+    pub fn source(&self) -> VertexId {
+        self.source
+    }
+
+    /// The hull window the forward pass ran over.
+    pub fn window(&self) -> TimeInterval {
+        self.window
+    }
+
+    /// The Pareto front of `(first-edge time, arrival)` pairs at `v`.
+    pub fn front(&self, v: VertexId) -> &[(Timestamp, Timestamp)] {
+        let lo = self.starts[v as usize] as usize;
+        let hi = self.starts[v as usize + 1] as usize;
+        &self.pairs[lo..hi]
+    }
+
+    /// Returns `true` if clamping this profile at `window` is exact: same
+    /// source, window inside the hull. Unlike [`SourceFrontier::covers`]
+    /// the begin may differ — that is the point of the profile.
+    pub fn covers(&self, source: VertexId, window: TimeInterval) -> bool {
+        self.source == source && self.window.contains_interval(&window)
+    }
+
+    /// Rough heap usage of the flattened profile, for cache accounting.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.starts.len() * std::mem::size_of::<u32>()
+            + self.pairs.len() * std::mem::size_of::<(Timestamp, Timestamp)>()
+            + self.reachable.len() * std::mem::size_of::<VertexId>()
+    }
+
+    /// Allocating convenience wrapper around [`Self::clamp_into`].
+    pub fn clamp(&self, window: TimeInterval) -> SourceFrontier {
+        let mut out = SourceFrontier::default();
+        self.clamp_into(window, &mut out);
+        out
+    }
+
+    /// Clamps the profile at a member `window`, writing a [`SourceFrontier`]
+    /// that is byte-identical to `SourceFrontier::compute` over that window
+    /// — for every begin inside the hull. The frontier's own machinery
+    /// (`covers`, `compute_polarity_into_with_frontier`, the candidate-edge
+    /// scan) then applies unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile does not cover `window`.
+    pub fn clamp_into(&self, window: TimeInterval, out: &mut SourceFrontier) {
+        assert!(
+            self.covers(self.source, window),
+            "profile over {} from vertex {} cannot answer {window}",
+            self.window,
+            self.source,
+        );
+        let n = self.starts.len() - 1;
+        out.source = self.source;
+        out.window = window;
+        out.arrival.clear();
+        out.arrival.resize(n, None);
+        out.reachable.clear();
+        let (begin, end) = (window.begin(), window.end());
+        for &v in &self.reachable {
+            let arrival = if v == self.source {
+                // The source carries the same sentinel a fresh pass writes.
+                Some(begin - 1)
+            } else {
+                let front = self.front(v);
+                let idx = front.partition_point(|&(f, _)| f < begin);
+                front.get(idx).map(|&(_, a)| a).filter(|&a| a <= end)
+            };
+            if let Some(a) = arrival {
+                out.arrival[v as usize] = Some(a);
+                out.reachable.push(v);
+            }
+        }
+    }
+}
+
+/// Inserts `pair` into a Pareto front kept strictly ascending in both
+/// components; returns `false` (front untouched) when an existing pair
+/// dominates it, and prunes the pairs it dominates otherwise.
+fn insert_front_pair(
+    front: &mut Vec<(Timestamp, Timestamp)>,
+    pair: (Timestamp, Timestamp),
+) -> bool {
+    let (f, a) = pair;
+    let idx = front.partition_point(|&(pf, _)| pf < f);
+    // Ascending arrivals make `front[idx]` the sharpest pair with `pf ≥ f`:
+    // if it does not dominate `(f, a)`, nothing later does either.
+    if front.get(idx).is_some_and(|&(_, pa)| pa <= a) {
+        return false;
+    }
+    // Pairs the newcomer dominates: earlier starts arriving no earlier
+    // (a contiguous run ending at `idx`), plus an equal-`f` pair at `idx`
+    // (which, having survived the check above, must arrive later).
+    let hi = if front.get(idx).is_some_and(|&(pf, _)| pf == f) { idx + 1 } else { idx };
+    let lo = front[..idx].partition_point(|&(_, pa)| pa < a);
+    front.splice(lo..hi, [pair]);
+    true
 }
 
 #[cfg(test)]
@@ -518,6 +738,105 @@ mod tests {
         let frontier = SourceFrontier::compute(&g, 99, TimeInterval::new(2, 7));
         assert!(frontier.reachable().is_empty());
         assert_eq!(frontier.arrival(fig1::S), None);
+    }
+
+    #[test]
+    fn profile_clamp_equals_a_fresh_frontier_for_every_subwindow() {
+        // The tentpole identity on the paper's running example: clamping
+        // the hull profile at *any* (begin, end) inside the hull is
+        // byte-identical to a fresh target-agnostic pass over that window.
+        let g = figure1_graph();
+        let hull = TimeInterval::new(2, 7);
+        let profile = ArrivalProfile::compute(&g, fig1::S, hull);
+        assert_eq!(profile.source(), fig1::S);
+        assert_eq!(profile.window(), hull);
+        for begin in 2..=7 {
+            for end in begin..=7 {
+                let member = TimeInterval::new(begin, end);
+                let fresh = SourceFrontier::compute(&g, fig1::S, member);
+                assert_eq!(profile.clamp(member), fresh, "window {member}");
+            }
+        }
+    }
+
+    #[test]
+    fn profile_fronts_are_pareto_ordered() {
+        let g = figure1_graph();
+        let profile = ArrivalProfile::compute(&g, fig1::S, TimeInterval::new(2, 7));
+        let mut labelled = 0;
+        for v in g.vertices() {
+            let front = profile.front(v);
+            labelled += usize::from(!front.is_empty());
+            assert!(
+                front.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 < w[1].1),
+                "front of {v} not strictly ascending: {front:?}"
+            );
+            assert!(front.iter().all(|&(f, a)| f <= a), "first edge after arrival at {v}");
+        }
+        assert!(labelled > 0, "figure 1 reaches vertices from s");
+        assert!(profile.reachable.contains(&fig1::S), "source is always reachable");
+        assert!(profile.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn profile_covers_any_begin_inside_the_hull() {
+        let g = figure1_graph();
+        let profile = ArrivalProfile::compute(&g, fig1::S, TimeInterval::new(2, 7));
+        assert!(profile.covers(fig1::S, TimeInterval::new(2, 7)));
+        assert!(profile.covers(fig1::S, TimeInterval::new(4, 6)), "begins may differ");
+        assert!(!profile.covers(fig1::B, TimeInterval::new(2, 7)), "different source");
+        assert!(!profile.covers(fig1::S, TimeInterval::new(1, 7)), "begin before the hull");
+        assert!(!profile.covers(fig1::S, TimeInterval::new(2, 9)), "end beyond the hull");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot answer")]
+    fn profile_clamp_rejects_uncovered_windows() {
+        let g = figure1_graph();
+        let profile = ArrivalProfile::compute(&g, fig1::S, TimeInterval::new(3, 5));
+        profile.clamp(TimeInterval::new(2, 5));
+    }
+
+    #[test]
+    fn out_of_range_profile_source_clamps_to_the_empty_frontier() {
+        let g = figure1_graph();
+        let profile = ArrivalProfile::compute(&g, 99, TimeInterval::new(2, 7));
+        let clamped = profile.clamp(TimeInterval::new(3, 5));
+        assert!(clamped.reachable().is_empty());
+        assert_eq!(clamped.arrival(fig1::S), None);
+    }
+
+    #[test]
+    fn profile_clamp_equals_fresh_frontiers_on_random_graphs() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xa881);
+        for case in 0..25 {
+            let n = rng.random_range(5..30);
+            let m = rng.random_range(10..150);
+            let tmax = rng.random_range(4..24);
+            let edges: Vec<TemporalEdge> = (0..m)
+                .map(|_| {
+                    TemporalEdge::new(
+                        rng.random_range(0..n) as VertexId,
+                        rng.random_range(0..n) as VertexId,
+                        rng.random_range(1..=tmax),
+                    )
+                })
+                .filter(|e| e.src != e.dst)
+                .collect();
+            let g = TemporalGraph::from_edges(n, edges);
+            let s = rng.random_range(0..n) as VertexId;
+            let hull = TimeInterval::new(1, tmax);
+            let profile = ArrivalProfile::compute(&g, s, hull);
+            for begin in 1..=tmax {
+                for end in begin..=tmax {
+                    let member = TimeInterval::new(begin, end);
+                    let fresh = SourceFrontier::compute(&g, s, member);
+                    assert_eq!(profile.clamp(member), fresh, "case {case}, window {member}");
+                }
+            }
+        }
     }
 
     #[test]

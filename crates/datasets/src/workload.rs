@@ -341,16 +341,18 @@ pub fn generate_overlapping_workload(
 }
 
 /// Parameters of a same-source fan-out workload: bursts of queries sharing
-/// one source vertex and one window begin, differing in target (and
-/// optionally in window end).
+/// one source vertex, differing in target (and optionally in window end
+/// and window begin).
 ///
-/// This is the serving-traffic shape the planner's *frontier groups* exist
+/// This is the serving-traffic shape the planner's *profile groups* exist
 /// for: "where can this account's money have gone in the next hour" /
 /// "which hosts did this machine touch during the incident" expand one hot
-/// source against many candidate targets over the same window. The forward
-/// half of the polarity computation is target-independent, so the engine
-/// computes it once per burst — but only if the batch actually contains
-/// such bursts, which this generator produces.
+/// source against many candidate targets over roughly the same window. The
+/// forward half of the polarity computation is target-independent, so the
+/// engine computes one arrival profile per burst — but only if the batch
+/// actually contains such bursts, which this generator produces. With
+/// `begin_jitter > 0` the emitted begins differ inside a burst, the shape
+/// per-begin frontier sharing could never group.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct FanoutWorkloadConfig {
     /// Total number of queries to emit (round-robin across the bursts, so
@@ -360,17 +362,28 @@ pub struct FanoutWorkloadConfig {
     pub sources: usize,
     /// Span θ of each burst's base window; must be ≥ 1.
     pub theta: i64,
-    /// Maximum extra timestamps appended to an emitted query's window end
-    /// (the begin never moves — same-begin windows are what the frontier
-    /// restriction is exact for). `0` keeps every window identical.
+    /// Maximum extra timestamps appended to an emitted query's window end.
+    /// `0` keeps every end at the burst's base end.
     pub end_spread: i64,
+    /// Maximum timestamps an emitted query's window begin slides forward
+    /// from the burst's base begin (clamped so the window stays valid).
+    /// `0` (the [`FanoutWorkloadConfig::new`] default) keeps every begin
+    /// identical — the pre-profile shape.
+    pub begin_jitter: i64,
 }
 
 impl FanoutWorkloadConfig {
-    /// A workload of `num_queries` over `sources` bursts with span `theta`
-    /// and a half-span end spread.
+    /// A workload of `num_queries` over `sources` bursts with span `theta`,
+    /// a half-span end spread and no begin jitter.
     pub fn new(num_queries: usize, sources: usize, theta: i64) -> Self {
-        Self { num_queries, sources, theta, end_spread: (theta / 2).max(0) }
+        Self { num_queries, sources, theta, end_spread: (theta / 2).max(0), begin_jitter: 0 }
+    }
+
+    /// The same workload with begins jittered forward by up to `jitter`
+    /// timestamps (negative values are treated as 0).
+    pub fn with_begin_jitter(mut self, jitter: i64) -> Self {
+        self.begin_jitter = jitter.max(0);
+        self
     }
 }
 
@@ -381,7 +394,12 @@ impl FanoutWorkloadConfig {
 /// random source (like [`generate_workload`]) and collects every vertex the
 /// source temporally reaches within that window; emitted queries cycle
 /// through those targets round-robin across bursts, each with the burst's
-/// begin and an end stretched by up to `end_spread` extra timestamps.
+/// begin slid forward by up to `begin_jitter` timestamps and an end
+/// stretched by up to `end_spread` extra timestamps. Only each burst's
+/// *base* window is reachability-checked — a jittered begin may start
+/// after the walk that made the target reachable, which is a legitimate
+/// empty answer (the same contract as the overlapping workload's slid
+/// windows).
 pub fn generate_fanout_workload(
     graph: &TemporalGraph,
     config: &FanoutWorkloadConfig,
@@ -447,7 +465,12 @@ pub fn generate_fanout_workload(
         let stretch =
             if config.end_spread > 0 { rng.random_range(0..=config.end_spread) } else { 0 };
         let end = window.end().saturating_add(stretch);
-        queries.push(Query::new(*source, target, TimeInterval::new(window.begin(), end)));
+        let jitter =
+            if config.begin_jitter > 0 { rng.random_range(0..=config.begin_jitter) } else { 0 };
+        // The begin never crosses the end: a burst window always stays a
+        // valid interval, however large the configured jitter.
+        let begin = window.begin().saturating_add(jitter).min(end);
+        queries.push(Query::new(*source, target, TimeInterval::new(begin, end)));
     }
     Ok(queries)
 }
@@ -786,6 +809,48 @@ mod tests {
             }
         }
         assert!(fanned_out > 0, "at least one burst must fan out to several targets");
+    }
+
+    #[test]
+    fn fanout_begin_jitter_mixes_begins_within_a_burst() {
+        let g = GraphGenerator::uniform(60, 800, 30).generate(2);
+        let base = FanoutWorkloadConfig::new(40, 4, 8);
+        let cfg = base.with_begin_jitter(4);
+        assert_eq!(cfg.begin_jitter, 4);
+        let a = generate_fanout_workload(&g, &cfg, 5).unwrap();
+        assert_eq!(a, generate_fanout_workload(&g, &cfg, 5).unwrap(), "deterministic in seed");
+        assert_eq!(a.len(), 40);
+        let mut per_source: std::collections::HashMap<VertexId, Vec<&Query>> =
+            std::collections::HashMap::new();
+        for q in &a {
+            assert!(q.window.begin() <= q.window.end(), "{q}");
+            per_source.entry(q.source).or_default().push(q);
+        }
+        // At least one burst must actually contain differing begins —
+        // otherwise the knob exercises nothing new.
+        let mixed = per_source.values().any(|queries| {
+            let begin = queries[0].window.begin();
+            queries.iter().any(|q| q.window.begin() != begin)
+        });
+        assert!(mixed, "begin_jitter=4 must produce mixed begins in some burst");
+        // Begins only ever slide forward, and by at most the jitter bound.
+        let bases = {
+            let plain = generate_fanout_workload(&g, &base, 5).unwrap();
+            let mut begins: std::collections::HashMap<VertexId, i64> =
+                std::collections::HashMap::new();
+            for q in &plain {
+                begins.entry(q.source).or_insert(q.window.begin());
+            }
+            begins
+        };
+        for q in &a {
+            if let Some(&base_begin) = bases.get(&q.source) {
+                assert!(q.window.begin() >= base_begin, "{q}");
+                assert!(q.window.begin() <= base_begin + cfg.begin_jitter, "{q}");
+            }
+        }
+        // Negative jitter clamps to the no-jitter behavior.
+        assert_eq!(base.with_begin_jitter(-3).begin_jitter, 0);
     }
 
     #[test]

@@ -241,6 +241,11 @@ impl Shared {
                 push(key, value);
             }
         }
+        if let Some(profiles) = self.engine.profile_cache_stats() {
+            for (key, value) in profiles.key_values() {
+                push(key, value);
+            }
+        }
         out.push_str("end");
         out
     }

@@ -3,6 +3,7 @@
 //! ```text
 //! tspg-server <edge-list> --socket PATH [--admit-max N] [--admit-window-ms T]
 //!             [--quota N] [--threads N] [--cache-size N] [--no-cache]
+//!             [--profile-cache-size N]
 //! ```
 //!
 //! Loads the edge list once, builds one [`QueryEngine`] and serves the
@@ -16,7 +17,7 @@
 use std::collections::HashMap;
 use std::process::ExitCode;
 use std::time::Duration;
-use tspg_core::{CacheConfig, QueryEngine};
+use tspg_core::{CacheConfig, ProfileCacheConfig, QueryEngine};
 use tspg_graph::io;
 use tspg_server::{Server, ServerConfig};
 
@@ -34,7 +35,7 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:\n  tspg-server <edge-list> --socket PATH [--admit-max N] \
                      [--admit-window-ms T]\n              [--quota N] [--threads N] \
-                     [--cache-size N] [--no-cache]";
+                     [--cache-size N] [--no-cache] [--profile-cache-size N]";
 
 fn run(args: &[String]) -> Result<(), String> {
     if args.iter().any(|a| a == "--help" || a == "-h" || a == "help") {
@@ -76,6 +77,11 @@ fn run(args: &[String]) -> Result<(), String> {
         None => None,
     };
     let no_cache = flags.contains_key("no-cache") || cache_entries == Some(0);
+    // 0 disables cross-batch profile residency (within-batch sharing stays).
+    let profile_cache_entries: Option<usize> = match flags.get("profile-cache-size") {
+        Some(v) => Some(parse_number(v, "profile cache size")?),
+        None => None,
+    };
 
     let graph = io::read_edge_list_file(graph_path)
         .map_err(|e| format!("cannot read {graph_path}: {e}"))?;
@@ -89,6 +95,11 @@ fn run(args: &[String]) -> Result<(), String> {
         (true, _) => engine.without_cache(),
         (false, Some(entries)) => engine.with_cache(CacheConfig::with_max_entries(entries)),
         (false, None) => engine,
+    };
+    engine = match profile_cache_entries {
+        Some(0) => engine.without_profile_cache(),
+        Some(entries) => engine.with_profile_cache(ProfileCacheConfig::with_max_entries(entries)),
+        None => engine,
     };
 
     let handle =

@@ -41,8 +41,9 @@ pub use tspg_server as server;
 pub mod prelude {
     pub use tspg_baselines::{run_ep, EpAlgorithm};
     pub use tspg_core::{
-        generate_tspg, generate_tspg_with, BatchStats, CacheConfig, CacheStats, PlannerConfig,
-        QueryEngine, QueryScratch, QuerySpec, SourceFrontier, VugConfig, VugReport, VugResult,
+        generate_tspg, generate_tspg_with, ArrivalProfile, BatchStats, CacheConfig, CacheStats,
+        PlannerConfig, QueryEngine, QueryScratch, QuerySpec, SourceFrontier, VugConfig, VugReport,
+        VugResult,
     };
     pub use tspg_datasets::{
         format_queries, generate_fanout_workload, generate_overlapping_workload,

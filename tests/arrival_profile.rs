@@ -1,0 +1,74 @@
+//! Proptest pin of the PR 8 tentpole exactness claim: an
+//! [`ArrivalProfile`] computed once over a hull window, then clamped at
+//! *any* member window inside that hull — any begin, not just the hull's —
+//! is byte-identical (same struct, `Eq`) to a fresh [`SourceFrontier`]
+//! forward pass over the member window. This is the property that lets the
+//! planner group fan-out bursts by source alone and the executor answer
+//! every member from one shared forward pass.
+//!
+//! The negative direction is pinned too: `covers` must reject windows
+//! poking outside the hull and foreign sources, so a resident profile (in
+//! the engine's profile cache) can never be clamped at a window it is not
+//! exact for.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use tspg_suite::prelude::*;
+
+const N: u32 = 10;
+const T_MAX: i64 = 12;
+
+/// A random small temporal graph, a source, a hull window inside the
+/// timestamp domain and a member window inside the hull.
+fn profile_case() -> impl Strategy<Value = (TemporalGraph, u32, TimeInterval, TimeInterval)> {
+    let edge = (0..N, 0..N, 1..=T_MAX).prop_map(|(u, v, t)| TemporalEdge::new(u, v, t));
+    (vec(edge, 1..60), 0..N, 1..=6i64, 0..=6i64, 0..=100i64, 0..=100i64).prop_map(
+        |(edges, source, hull_begin, hull_extra, begin_pct, end_pct)| {
+            let edges: Vec<TemporalEdge> = edges.into_iter().filter(|e| e.src != e.dst).collect();
+            let graph = TemporalGraph::from_edges(N as usize, edges);
+            let hull_end = (hull_begin + hull_extra).min(T_MAX);
+            let hull = TimeInterval::new(hull_begin, hull_end);
+            // Member window: slide the begin forward and pull the end back
+            // by percentages of the hull span, keeping begin <= end.
+            let span = hull_end - hull_begin;
+            let begin = hull_begin + begin_pct * span / 100;
+            let end = hull_end - end_pct * (hull_end - begin) / 100;
+            (graph, source, hull, TimeInterval::new(begin, end.max(begin)))
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Clamping at any member window inside the hull equals a fresh
+    /// forward pass over that window, field for field.
+    #[test]
+    fn clamp_is_byte_identical_to_a_fresh_frontier(
+        (graph, source, hull, member) in profile_case()
+    ) {
+        let profile = ArrivalProfile::compute(&graph, source, hull);
+        prop_assert!(profile.covers(source, member), "{hull} must cover {member}");
+        let clamped = profile.clamp(member);
+        let fresh = SourceFrontier::compute(&graph, source, member);
+        prop_assert_eq!(&clamped, &fresh, "clamp at {} diverged from a fresh pass", member);
+        // The clamped frontier is begin-anchored at the member window, so
+        // all downstream frontier consumers see exactly what PR 5 built.
+        prop_assert!(clamped.covers(source, member));
+    }
+
+    /// `covers` rejects every window poking outside the hull and every
+    /// foreign source — the guard that keeps resident (cached) profiles
+    /// from answering queries they are not exact for.
+    #[test]
+    fn covers_rejects_windows_outside_the_hull(
+        ((graph, source, hull, _), stretch) in (profile_case(), 1..=4i64)
+    ) {
+        let profile = ArrivalProfile::compute(&graph, source, hull);
+        let early = TimeInterval::new(hull.begin() - stretch, hull.end());
+        let late = TimeInterval::new(hull.begin(), hull.end() + stretch);
+        prop_assert!(!profile.covers(source, early), "begin before the hull: {early}");
+        prop_assert!(!profile.covers(source, late), "end past the hull: {late}");
+        prop_assert!(!profile.covers(source + N, hull), "foreign source");
+    }
+}

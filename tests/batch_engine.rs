@@ -193,46 +193,45 @@ proptest! {
         prop_assert!(per_setup[2] <= per_setup[1] && per_setup[1] <= per_setup[0]);
     }
 
-    /// The frontier differential invariant (this PR's tentpole): random
-    /// same-source fan-out batches — bursts of queries sharing a source
-    /// and a window begin, with stretched ends and interleaved duplicates
-    /// — answered with frontier sharing on and off, across 1/4/8 threads,
+    /// The profile differential invariant (this PR's tentpole): random
+    /// same-source fan-out batches — bursts of queries sharing a source,
+    /// with jittered begins, stretched ends and interleaved duplicates —
+    /// answered with profile sharing on and off, across 1/4/8 threads,
     /// all byte-identical to the sequential path.
     #[test]
-    fn frontier_shared_batches_match_the_sequential_path(
+    fn profile_shared_batches_match_the_sequential_path(
         ((graph, _), bursts) in (
             graph_and_batch(),
-            vec((0..9u32, 1..=6i64, vec((0..9u32, 0..=3i64), 2..6)), 1..5),
+            vec((0..9u32, 1..=6i64, vec((0..9u32, 0..=3i64, 0..=2i64), 2..6)), 1..5),
         )
     ) {
-        // Each burst tuple is (source, begin, [(target, end stretch)]):
-        // every member query keeps the burst's source and begin — the
-        // grouping key — and stretches its end, so hulls and the span
-        // guard are exercised alongside plain same-window fan-outs.
+        // Each burst tuple is (source, begin, [(target, end stretch,
+        // begin jitter)]): every member query keeps the burst's source —
+        // the grouping key — while its begin slides inside the hull and
+        // its end stretches, so profile clamping at mixed begins and the
+        // span guard are exercised alongside plain same-window fan-outs.
         let mut queries: Vec<QuerySpec> = Vec::new();
         for &(s, begin, ref members) in &bursts {
-            for &(t, stretch) in members {
+            for &(t, stretch, jitter) in members {
                 let end = (begin + 2 + stretch).min(9);
-                queries.push(QuerySpec::new(s, t, TimeInterval::new(begin, end)));
+                let b = (begin + jitter).min(end);
+                queries.push(QuerySpec::new(s, t, TimeInterval::new(b, end)));
             }
         }
         let stats = assert_batch_matches_sequential(
             &graph,
             &queries,
             &[
-                EngineSetup::new("frontier", PlannerConfig::default()).at_threads(&[1, 4, 8]),
-                EngineSetup::new(
-                    "no-frontier",
-                    PlannerConfig::default().without_frontier_sharing(),
-                ).at_threads(&[1, 4, 8]),
+                EngineSetup::new("profiles", PlannerConfig::default()),
+                EngineSetup::new("no-profiles", PlannerConfig::default().without_profile_sharing()),
             ],
         );
         // Sharing is answer-invisible *and* run-count-invisible: the two
         // setups must plan exactly the same number of pipeline runs.
-        let frontier_runs: Vec<usize> = stats[..3].iter().map(|s| s.pipeline_runs()).collect();
+        let profile_runs: Vec<usize> = stats[..3].iter().map(|s| s.pipeline_runs()).collect();
         let plain_runs: Vec<usize> = stats[3..].iter().map(|s| s.pipeline_runs()).collect();
-        prop_assert_eq!(frontier_runs, plain_runs);
-        prop_assert!(stats[3..].iter().all(|s| s.frontier_groups == 0));
+        prop_assert_eq!(profile_runs, plain_runs);
+        prop_assert!(stats[3..].iter().all(|s| s.profile_groups == 0));
     }
 
 }
@@ -287,11 +286,11 @@ fn envelope_overlap_chains_and_mixed_groups_match_sequential() {
 }
 
 /// Deterministic fan-out acceptance: a generated same-source fan-out
-/// workload forms frontier groups, the overlay counters stay within their
+/// workload forms profile groups, the overlay counters stay within their
 /// bounds, and every answer matches the sequential path whether sharing is
 /// on or off.
 #[test]
-fn fanout_workloads_share_frontiers_and_match_sequential() {
+fn fanout_workloads_share_profiles_and_match_sequential() {
     let graph = GraphGenerator::uniform(80, 900, 40).generate(0x12);
     let cfg = FanoutWorkloadConfig::new(48, 6, 8);
     let queries = generate_fanout_workload(&graph, &cfg, 11).expect("workload");
@@ -299,16 +298,44 @@ fn fanout_workloads_share_frontiers_and_match_sequential() {
         &graph,
         &queries,
         &[
-            EngineSetup::new("frontier", PlannerConfig::default()).at_threads(&[1, 4, 8]),
-            EngineSetup::new("no-frontier", PlannerConfig::default().without_frontier_sharing()),
+            EngineSetup::new("profiles", PlannerConfig::default()),
+            EngineSetup::new("no-profiles", PlannerConfig::default().without_profile_sharing()),
         ],
     );
     assert!(
-        stats[0].frontier_groups >= 1,
-        "a fan-out workload must form frontier groups: {:?}",
+        stats[0].profile_groups >= 1,
+        "a fan-out workload must form profile groups: {:?}",
         stats[0]
     );
-    assert!(stats[0].frontier_answered >= 2 * stats[0].frontier_groups, "{:?}", stats[0]);
+    assert!(stats[0].profile_answered >= 2 * stats[0].profile_groups, "{:?}", stats[0]);
+}
+
+/// Mixed-begin fan-out acceptance (this PR's tentpole shape): the same
+/// workload with jittered window begins — where PR 5's begin-anchored
+/// grouping found nothing — still forms profile groups, because an
+/// arrival profile clamps to any begin inside the hull. Answers stay
+/// byte-identical to the sequential path with sharing on and off.
+#[test]
+fn jittered_fanout_workloads_share_profiles_and_match_sequential() {
+    let graph = GraphGenerator::uniform(80, 900, 40).generate(0x12);
+    let cfg = FanoutWorkloadConfig::new(48, 6, 8).with_begin_jitter(3);
+    let queries = generate_fanout_workload(&graph, &cfg, 11).expect("workload");
+    let begins: std::collections::HashSet<i64> = queries.iter().map(|q| q.window.begin()).collect();
+    assert!(begins.len() > 1, "the jitter must actually mix begins");
+    let stats = assert_batch_matches_sequential(
+        &graph,
+        &queries,
+        &[
+            EngineSetup::new("profiles", PlannerConfig::default()),
+            EngineSetup::new("no-profiles", PlannerConfig::default().without_profile_sharing()),
+        ],
+    );
+    assert!(
+        stats[0].profile_groups >= 1,
+        "a mixed-begin fan-out workload must form profile groups: {:?}",
+        stats[0]
+    );
+    assert!(stats[0].profile_answered >= 2 * stats[0].profile_groups, "{:?}", stats[0]);
 }
 
 /// The dense-graph envelope heuristic (ROADMAP item): on a dense registry

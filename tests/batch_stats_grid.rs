@@ -1,13 +1,14 @@
 //! `BatchStats` bookkeeping under the full planner-configuration grid
-//! (envelopes × frontier sharing × result cache), the satellite gate of
-//! the frontier-sharing PR: on random graphs and batches, for every
+//! (envelopes × profile sharing × result cache), the satellite gate of
+//! the profile-sharing PR: on random graphs and batches, for every
 //! configuration, every thread count and every warm pass,
 //!
 //! * the six answer buckets sum to `queries` (each query answered exactly
 //!   one way),
 //! * `pipeline_runs()` never exceeds `queries` (planning never adds net
 //!   work), and
-//! * the frontier overlay counters respect their bounds.
+//! * the profile overlay counters respect their bounds
+//!   (`2 × profile_groups ≤ pipeline_runs`).
 //!
 //! The shared harness asserts all of this — plus byte-identity against the
 //! sequential path — on every run it performs; this file drives it across
@@ -23,11 +24,12 @@ use tspg_suite::prelude::*;
 
 /// A graph plus a batch containing, by construction, every answer shape:
 /// fresh queries, exact duplicates, contained windows, overlapping
-/// windows, same-source fan-outs and degenerate (`s == t`) queries.
+/// windows, same-source fan-outs (same- and mixed-begin) and degenerate
+/// (`s == t`) queries.
 fn graph_and_loaded_batch() -> impl Strategy<Value = (TemporalGraph, Vec<QuerySpec>)> {
     const N: u32 = 8;
     let edge = (0..N, 0..N, 1..=9i64).prop_map(|(u, v, t)| TemporalEdge::new(u, v, t));
-    let shape = (0..6usize, 0..N, 0..N, 1..=7i64, 0..=3i64);
+    let shape = (0..7usize, 0..N, 0..N, 1..=7i64, 0..=3i64);
     (vec(edge, 1..50), vec(shape, 2..16)).prop_map(|(edges, shapes)| {
         let edges: Vec<TemporalEdge> = edges.into_iter().filter(|e| e.src != e.dst).collect();
         let graph = TemporalGraph::from_edges(N as usize, edges);
@@ -60,6 +62,14 @@ fn graph_and_loaded_batch() -> impl Strategy<Value = (TemporalGraph, Vec<QuerySp
                     let base = queries[s as usize % queries.len()];
                     QuerySpec::new(base.source, t, base.window)
                 }
+                // Mixed-begin fan-out: same source and end, slid begin —
+                // the shape only profile sharing can group.
+                5 if !queries.is_empty() => {
+                    let base = queries[s as usize % queries.len()];
+                    let w = base.window;
+                    let b = (w.begin() + extra).min(w.end());
+                    QuerySpec::new(base.source, t, TimeInterval::new(b, w.end()))
+                }
                 // Fresh query.
                 _ => QuerySpec::new(s, t, window),
             };
@@ -83,7 +93,10 @@ proptest! {
         (graph, queries) in graph_and_loaded_batch()
     ) {
         let stats = assert_batch_matches_sequential(&graph, &queries, &EngineSetup::grid());
-        // Sanity on the grid itself: it must exercise both frontier states.
+        // Sanity on the grid itself: it must exercise both profile states,
+        // and the overlay bound holds on every run (the harness asserts
+        // it; re-check the headline inequality here as the gate).
         prop_assert!(stats.iter().all(|s| s.queries == queries.len()));
+        prop_assert!(stats.iter().all(|s| 2 * s.profile_groups <= s.pipeline_runs()));
     }
 }

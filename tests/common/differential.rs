@@ -10,7 +10,7 @@
 //! (one raw pipeline execution per query, no planner, no cache). It also
 //! asserts the [`BatchStats`] bookkeeping invariants on every run and
 //! returns the collected stats so callers can pin feature-specific
-//! expectations (cache hits, envelope counts, frontier groups) on top.
+//! expectations (cache hits, envelope counts, profile groups) on top.
 
 // Each test binary compiles this module independently and uses a different
 // subset of the helpers.
@@ -38,9 +38,9 @@ pub struct EngineSetup {
 }
 
 impl EngineSetup {
-    /// A cache-less setup answering at 1 and 4 worker threads.
+    /// A cache-less setup answering at 1, 4 and 8 worker threads.
     pub fn new(label: impl Into<String>, planner: PlannerConfig) -> Self {
-        Self { label: label.into(), planner, cache: None, threads: vec![1, 4], passes: 1 }
+        Self { label: label.into(), planner, cache: None, threads: vec![1, 4, 8], passes: 1 }
     }
 
     /// Adds a result cache and a second (warm) pass.
@@ -57,7 +57,7 @@ impl EngineSetup {
     }
 
     /// The full planner-feature grid crossed with cache on/off: every
-    /// combination of `envelopes` × `frontier_sharing` × cache, the
+    /// combination of `envelopes` × `profile_sharing` × cache, the
     /// configuration space the `BatchStats` invariants must hold over.
     pub fn grid() -> Vec<EngineSetup> {
         let mut setups = Vec::new();
@@ -65,12 +65,12 @@ impl EngineSetup {
             ("envelopes", PlannerConfig::default()),
             ("containment", PlannerConfig::containment_only()),
         ] {
-            for (frontier_label, planner) in
-                [("frontier", base), ("no-frontier", base.without_frontier_sharing())]
+            for (profile_label, planner) in
+                [("profiles", base), ("no-profiles", base.without_profile_sharing())]
             {
                 for cached in [false, true] {
                     let label = format!(
-                        "{env_label}/{frontier_label}/{}",
+                        "{env_label}/{profile_label}/{}",
                         if cached { "cache" } else { "no-cache" }
                     );
                     let setup = EngineSetup::new(label, planner);
@@ -97,9 +97,9 @@ pub fn sequential_results(graph: &TemporalGraph, queries: &[QuerySpec]) -> Vec<V
 /// * the six answer buckets partition the batch (each query is answered
 ///   exactly one way);
 /// * planning never runs more full-graph pipelines than there are queries;
-/// * the frontier overlay counters stay within their bounds (`groups ≤
-///   pipeline runs`, `answered ≤ queries`, and sharing implies ≥ 2 runs
-///   per group).
+/// * the profile overlay counters stay within their bounds (`answered ≤
+///   queries`, and sharing implies ≥ 2 member runs per group, i.e.
+///   `2 × profile_groups ≤ pipeline_runs`).
 pub fn assert_stats_invariants(stats: &BatchStats) {
     assert_eq!(
         stats.executed_units
@@ -115,10 +115,10 @@ pub fn assert_stats_invariants(stats: &BatchStats) {
         stats.pipeline_runs() <= stats.queries,
         "planning must never add net pipeline runs: {stats:?}"
     );
-    assert!(stats.frontier_answered <= stats.queries, "overlay bound: {stats:?}");
+    assert!(stats.profile_answered <= stats.queries, "overlay bound: {stats:?}");
     assert!(
-        stats.frontier_groups * 2 <= stats.pipeline_runs(),
-        "every frontier group shares across at least two member runs: {stats:?}"
+        stats.profile_groups * 2 <= stats.pipeline_runs(),
+        "every profile group shares across at least two member runs: {stats:?}"
     );
 }
 
