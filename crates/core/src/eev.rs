@@ -192,6 +192,7 @@ pub fn escaped_edges_verification_scratch(
     stats.bidir = searcher.stats();
     scratch.bidir = searcher.into_scratch();
 
+    // tspg-lint: allow(hot-alloc-transitive) — answer materialization: the returned tspG must own its edges beyond the scratch's lifetime, one allocation per answer, not per step
     let tspg = EdgeSet::from_edges(
         gt.edges().iter().enumerate().filter(|(id, _)| in_result[*id]).map(|(_, e)| *e),
     );

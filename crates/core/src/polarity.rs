@@ -351,8 +351,8 @@ pub fn compute_polarity_into_with_frontier(
 ///
 /// The resident representation is a flattened CSR (`starts`/`pairs`,
 /// following the Kairos compact time-indexed-layout direction) so a cached
-/// profile costs three dense arrays, accounted by [`approx_bytes`]
-/// (`ArrivalProfile::approx_bytes`) in the engine's profile cache.
+/// profile costs three dense arrays, accounted by
+/// [`ArrivalProfile::approx_bytes`] in the engine's profile cache.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ArrivalProfile {
     source: VertexId,

@@ -1,0 +1,57 @@
+//! Seeded `condvar-wait-loop` violation: a bare `Condvar::wait` guarded
+//! only by an `if`, so a spurious wakeup slips past the predicate. The CI
+//! smoke step asserts `tspg-lint` exits nonzero on this tree.
+
+pub struct Admission;
+
+impl Admission {
+    /// Finding: `if` is not a re-check loop — a spurious wakeup returns
+    /// with the queue still empty.
+    pub fn park(&self) {
+        let mut queue = self.admission.lock().unwrap();
+        if queue.is_empty() {
+            queue = self.admit_cv.wait(queue).unwrap();
+        }
+        drop(queue);
+    }
+
+    /// Clean: the canonical predicate re-check loop.
+    pub fn park_correctly(&self) {
+        let mut queue = self.admission.lock().unwrap();
+        while queue.is_empty() {
+            queue = self.admit_cv.wait(queue).unwrap();
+        }
+        drop(queue);
+    }
+
+    /// Clean: `wait_timeout` re-armed from an explicit `loop`.
+    pub fn drain(&self) {
+        let mut queue = self.admission.lock().unwrap();
+        loop {
+            if !queue.is_empty() {
+                break;
+            }
+            let (q, timeout) = self.admit_cv.wait_timeout(queue, WINDOW).unwrap();
+            queue = q;
+            if timeout.timed_out() {
+                break;
+            }
+        }
+        drop(queue);
+    }
+
+    /// Clean: `wait_while` owns the loop itself (different method name).
+    pub fn park_while(&self) {
+        let queue = self.admission.lock().unwrap();
+        let queue = self.admit_cv.wait_while(queue, |q| q.is_empty()).unwrap();
+        drop(queue);
+    }
+
+    /// A deliberate, justified exception: suppressed, must NOT be
+    /// reported.
+    pub fn flush_once(&self) {
+        let queue = self.admission.lock().unwrap();
+        // tspg-lint: allow(condvar-wait-loop) — single-shot shutdown barrier; the caller tolerates spurious returns
+        let _ = self.admit_cv.wait(queue);
+    }
+}

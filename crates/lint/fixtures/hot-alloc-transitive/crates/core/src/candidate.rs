@@ -1,0 +1,53 @@
+//! Seeded `hot-alloc-transitive` violations: hot-path functions reaching
+//! allocating helpers through the call graph. The CI smoke step asserts
+//! `tspg-lint` exits nonzero on this tree.
+
+/// Finding 1: a two-hop free-function chain. The diagnostic must anchor
+/// at the `expand` call below and name the full chain
+/// `fill_into -> expand -> grow`.
+pub fn fill_into(out: &mut Vec<u32>) {
+    expand(out);
+}
+
+fn expand(out: &mut Vec<u32>) {
+    grow(out);
+}
+
+fn grow(out: &mut Vec<u32>) {
+    let scratch: Vec<u32> = Vec::new();
+    out.extend(scratch);
+}
+
+pub struct Candidate;
+
+impl Candidate {
+    /// Finding 2: a method-resolution chain inside one impl block.
+    pub fn pack_scratch(&self, out: &mut Vec<u32>) {
+        self.reserve(out);
+    }
+
+    fn reserve(&self, out: &mut Vec<u32>) {
+        let staged = vec![0u32; 8];
+        out.extend(staged);
+    }
+}
+
+/// Clean: the helper touches only its argument in place (no finding).
+pub fn clamp_into(out: &mut Vec<u32>) {
+    tidy(out);
+}
+
+fn tidy(out: &mut Vec<u32>) {
+    out.sort_unstable();
+    out.dedup();
+}
+
+/// A deliberate, justified exception: suppressed, must NOT be reported.
+pub fn seed_scratch(out: &mut Vec<Vec<u32>>) {
+    // tspg-lint: allow(hot-alloc-transitive) — one-time warmup allocation, not steady state
+    warm(out);
+}
+
+fn warm(out: &mut Vec<Vec<u32>>) {
+    out.push(Vec::with_capacity(16));
+}

@@ -1,0 +1,70 @@
+//! Seeded `lock-order` violations: lock pairs taken in opposite orders,
+//! directly and through a call. The CI smoke step asserts `tspg-lint`
+//! exits nonzero on this tree.
+
+pub struct Shared;
+
+impl Shared {
+    /// Findings 1 + 2 (one per acquisition site): `submit` takes
+    /// `alpha -> beta`, `drain` takes `beta -> alpha`.
+    pub fn submit(&self) {
+        let a = self.alpha.lock().unwrap();
+        let b = self.beta.lock().unwrap();
+        drop(b);
+        drop(a);
+    }
+
+    pub fn drain(&self) {
+        let b = self.beta.lock().unwrap();
+        let a = self.alpha.lock().unwrap();
+        drop(a);
+        drop(b);
+    }
+
+    /// Findings 3 + 4: the inversion hides behind a call — `outer` holds
+    /// `gamma` while `take_delta` acquires `delta`; `rev` takes the same
+    /// pair in the opposite order directly.
+    pub fn outer(&self) {
+        let g = self.gamma.lock().unwrap();
+        self.take_delta();
+        drop(g);
+    }
+
+    fn take_delta(&self) {
+        let d = self.delta.lock().unwrap();
+        drop(d);
+    }
+
+    pub fn rev(&self) {
+        let d = self.delta.lock().unwrap();
+        let g = self.gamma.lock().unwrap();
+        drop(g);
+        drop(d);
+    }
+
+    /// Clean: both paths agree on `mu -> nu` (no finding).
+    pub fn tick(&self) {
+        let m = self.mu.lock().unwrap();
+        let n = self.nu.lock().unwrap();
+        drop(n);
+        drop(m);
+    }
+
+    pub fn tock(&self) {
+        let m = self.mu.lock().unwrap();
+        let n = self.nu.lock().unwrap();
+        drop(n);
+        drop(m);
+    }
+
+    /// A deliberate, justified exception: two *different* shard mutexes
+    /// share the receiver name `shard`, so the analyzer sees a re-entrant
+    /// self-edge — suppressed, must NOT be reported.
+    pub fn rebalance(&self, from: usize, to: usize) {
+        let src = self.shard(from).lock().unwrap();
+        // tspg-lint: allow(lock-order) — name-granularity artifact: `from != to` is checked by the caller, so these are distinct shard mutexes
+        let dst = self.shard(to).lock().unwrap();
+        drop(dst);
+        drop(src);
+    }
+}

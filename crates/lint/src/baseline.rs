@@ -1,0 +1,372 @@
+//! Committed-baseline support: land a strict rule without a big-bang
+//! justification commit.
+//!
+//! `tspg-lint --write-baseline` snapshots the current findings into
+//! `<root>/lint-baseline.json`; subsequent runs subtract baselined
+//! findings (matched on `(path, rule, message)` — line/column free, so
+//! unrelated edits don't un-baseline a finding) and fail only on new
+//! ones. The file is committed, reviewed like code, and shrunk over time;
+//! an empty `findings` array asserts the tree is genuinely clean.
+//!
+//! The parser below is a minimal recursive-descent JSON reader — enough
+//! for the baseline schema and deliberately local so `tspg-lint` stays
+//! dependency-free.
+
+use crate::diagnostics::{escape_json, Diagnostic};
+
+/// Schema tag written into and required from every baseline file.
+pub const SCHEMA: &str = "tspg-lint-baseline/1";
+
+/// One baselined finding. Line/column are intentionally absent: the
+/// triple survives unrelated edits to the file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Lint-root-relative path.
+    pub path: String,
+    /// Rule name.
+    pub rule: String,
+    /// Exact diagnostic message.
+    pub message: String,
+}
+
+/// A parsed (or freshly built) baseline.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    /// The accepted findings.
+    pub entries: Vec<BaselineEntry>,
+}
+
+impl Baseline {
+    /// Snapshot `diags` as a baseline.
+    pub fn from_diagnostics(diags: &[Diagnostic]) -> Self {
+        Self {
+            entries: diags
+                .iter()
+                .map(|d| BaselineEntry {
+                    path: d.path.clone(),
+                    rule: d.rule.to_string(),
+                    message: d.message.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Parse and schema-check a baseline file's text.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let value = Json::parse(text)?;
+        let Json::Object(fields) = &value else {
+            return Err("baseline root must be a JSON object".into());
+        };
+        match field(fields, "schema") {
+            Some(Json::Str(s)) if s == SCHEMA => {}
+            Some(Json::Str(s)) => {
+                return Err(format!("unsupported baseline schema `{s}` (expected `{SCHEMA}`)"))
+            }
+            _ => return Err(format!("baseline is missing `\"schema\": \"{SCHEMA}\"`")),
+        }
+        let Some(Json::Array(items)) = field(fields, "findings") else {
+            return Err("baseline is missing the `findings` array".into());
+        };
+        let mut entries = Vec::new();
+        for (i, item) in items.iter().enumerate() {
+            let Json::Object(f) = item else {
+                return Err(format!("findings[{i}] is not an object"));
+            };
+            let get = |k: &str| match field(f, k) {
+                Some(Json::Str(s)) => Ok(s.clone()),
+                _ => Err(format!("findings[{i}] is missing string field `{k}`")),
+            };
+            entries.push(BaselineEntry {
+                path: get("path")?,
+                rule: get("rule")?,
+                message: get("message")?,
+            });
+        }
+        Ok(Self { entries })
+    }
+
+    /// Render as the committed-file JSON form (trailing newline included).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+        out.push_str("  \"findings\": [");
+        for (i, e) in self.entries.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "    {{\"path\": \"{}\", \"rule\": \"{}\", \"message\": \"{}\"}}",
+                escape_json(&e.path),
+                escape_json(&e.rule),
+                escape_json(&e.message)
+            ));
+        }
+        if !self.entries.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// True when `diag` matches a baselined entry.
+    pub fn contains(&self, diag: &Diagnostic) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.path == diag.path && e.rule == diag.rule && e.message == diag.message)
+    }
+}
+
+/// The object field named `key`, if present.
+fn field<'a>(fields: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// A parsed JSON value. Objects keep insertion order; numbers stay `f64`
+/// (the baseline schema carries none, but the parser is complete enough
+/// not to choke on hand-edited files).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `{…}` with fields in source order.
+    Object(Vec<(String, Json)>),
+    /// `[…]`.
+    Array(Vec<Json>),
+    /// A string.
+    Str(String),
+    /// A number.
+    Num(f64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+impl Json {
+    /// Parse one complete JSON document.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing content at byte {pos}"));
+        }
+        Ok(value)
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while bytes.get(*pos).is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r')) {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, want: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&want) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at byte {}", want as char, *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(b) if b.is_ascii_digit() || *b == b'-' => parse_number(bytes, pos),
+        _ => Err(format!("unexpected input at byte {}", *pos)),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, word: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while bytes
+        .get(*pos)
+        .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("invalid number at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| format!("invalid \\u escape at byte {}", *pos))?;
+                        // Surrogates are out of scope for the escapes this
+                        // tool itself writes (ASCII control chars only).
+                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("invalid escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar worth of bytes.
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| format!("invalid UTF-8 at byte {}", *pos))?;
+                let ch = rest.chars().next().unwrap();
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Object(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        fields.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Object(fields));
+            }
+            _ => return Err(format!("expected `,` or `}}` at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            _ => return Err(format!("expected `,` or `]` at byte {}", *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(path: &str, rule: &'static str, message: &str) -> Diagnostic {
+        Diagnostic { path: path.into(), line: 3, col: 7, rule, message: message.into() }
+    }
+
+    #[test]
+    fn roundtrip_through_render_and_parse() {
+        let diags =
+            vec![diag("crates/server/src/lib.rs", "lock-order", "cycle with \"quotes\"\nand nl")];
+        let base = Baseline::from_diagnostics(&diags);
+        let reparsed = Baseline::parse(&base.render()).unwrap();
+        assert_eq!(reparsed.entries, base.entries);
+        assert!(reparsed.contains(&diags[0]));
+    }
+
+    #[test]
+    fn empty_baseline_renders_and_parses() {
+        let base = Baseline::default();
+        let text = base.render();
+        assert!(text.contains("\"findings\": []"));
+        let reparsed = Baseline::parse(&text).unwrap();
+        assert!(reparsed.entries.is_empty());
+        assert!(!reparsed.contains(&diag("a", "r", "m")));
+    }
+
+    #[test]
+    fn matching_ignores_line_and_col() {
+        let base = Baseline::from_diagnostics(&[diag("p.rs", "lock-order", "msg")]);
+        let mut moved = diag("p.rs", "lock-order", "msg");
+        moved.line = 99;
+        moved.col = 1;
+        assert!(base.contains(&moved));
+        assert!(!base.contains(&diag("p.rs", "lock-order", "other msg")));
+        assert!(!base.contains(&diag("q.rs", "lock-order", "msg")));
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let err = Baseline::parse("{\"schema\": \"other/9\", \"findings\": []}").unwrap_err();
+        assert!(err.contains("unsupported baseline schema"), "{err}");
+        let err = Baseline::parse("{\"findings\": []}").unwrap_err();
+        assert!(err.contains("missing"), "{err}");
+    }
+
+    #[test]
+    fn json_parser_handles_nesting_numbers_and_escapes() {
+        let v =
+            Json::parse("{\"a\": [1, -2.5, true, false, null], \"b\": {\"c\": \"x\\u0041\\n\"}}")
+                .unwrap();
+        let Json::Object(fields) = &v else { panic!("{v:?}") };
+        let Some(Json::Array(items)) = field(fields, "a") else { panic!("{v:?}") };
+        assert_eq!(items.len(), 5);
+        assert_eq!(items[1], Json::Num(-2.5));
+        let Some(Json::Object(inner)) = field(fields, "b") else { panic!("{v:?}") };
+        assert_eq!(field(inner, "c"), Some(&Json::Str("xA\n".into())));
+    }
+
+    #[test]
+    fn json_parser_rejects_trailing_garbage_and_bad_escapes() {
+        assert!(Json::parse("{} x").is_err());
+        assert!(Json::parse("\"\\q\"").is_err());
+        assert!(Json::parse("[1,").is_err());
+    }
+}

@@ -17,12 +17,16 @@
 
 #![forbid(unsafe_code)]
 
+pub mod baseline;
+pub mod callgraph;
 pub mod diagnostics;
+pub mod lockgraph;
 pub mod rules;
 pub mod tokens;
 
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
 
 use diagnostics::{collect_suppressions, is_suppressed, Diagnostic};
 use tokens::{tokenize, Token, TokenKind};
@@ -80,10 +84,19 @@ impl SourceFile {
     /// Innermost function whose span (signature through closing brace)
     /// contains the `code` token at `idx`.
     pub fn enclosing_fn(&self, idx: usize) -> Option<&FnSpan> {
+        self.enclosing_fn_idx(idx).map(|i| &self.fn_spans[i])
+    }
+
+    /// Index into [`Self::fn_spans`] of the innermost function containing
+    /// the `code` token at `idx` — the stable handle the call graph uses
+    /// to attribute call sites to their defining function.
+    pub fn enclosing_fn_idx(&self, idx: usize) -> Option<usize> {
         self.fn_spans
             .iter()
-            .filter(|f| idx >= f.sig_start && idx <= f.body_end)
-            .min_by_key(|f| f.body_end - f.sig_start)
+            .enumerate()
+            .filter(|(_, f)| idx >= f.sig_start && idx <= f.body_end)
+            .min_by_key(|(_, f)| f.body_end - f.sig_start)
+            .map(|(i, _)| i)
     }
 
     /// True when a comment containing `needle` starts on `line` or the
@@ -128,14 +141,21 @@ fn find_fn_spans(code: &[Token]) -> Vec<FnSpan> {
         };
         let Some(body_start) = body_start else { continue };
         if let Some(body_end) = match_brace(code, body_start) {
-            spans.push(FnSpan { name: name_tok.text.clone(), sig_start: i, body_start, body_end });
+            // Store the raw-prefix-stripped name so `fn r#try` and a call
+            // site `r#try(…)` compare equal in the call graph.
+            spans.push(FnSpan {
+                name: name_tok.ident_name().to_string(),
+                sig_start: i,
+                body_start,
+                body_end,
+            });
         }
     }
     spans
 }
 
 /// Index of the `}` matching the `{` at `open`, if balanced.
-fn match_brace(code: &[Token], open: usize) -> Option<usize> {
+pub(crate) fn match_brace(code: &[Token], open: usize) -> Option<usize> {
     let mut depth = 0usize;
     for (j, tok) in code.iter().enumerate().skip(open) {
         if tok.is_punct("{") {
@@ -236,9 +256,24 @@ pub struct LintContext {
     /// Contents of `<root>/README.md`, when present (consumed by the
     /// `stats-glossary-sync` rule).
     pub readme: Option<String>,
+    /// Pass-1 workspace call graph, built lazily on first use and shared
+    /// by every flow-aware rule (see [`callgraph`]).
+    graph: OnceLock<callgraph::CallGraph>,
 }
 
 impl LintContext {
+    /// Assemble a context from pre-analyzed parts (rule unit tests build
+    /// synthetic contexts this way; [`LintContext::load`] goes through it
+    /// too so the lazy graph cell has exactly one initialization site).
+    pub fn from_parts(root: PathBuf, files: Vec<SourceFile>, readme: Option<String>) -> Self {
+        Self { root, files, readme, graph: OnceLock::new() }
+    }
+
+    /// The workspace call graph, built on first access and cached for the
+    /// lifetime of the context.
+    pub fn callgraph(&self) -> &callgraph::CallGraph {
+        self.graph.get_or_init(|| callgraph::CallGraph::build(self))
+    }
     /// Load and analyze every lintable file under `root`.
     ///
     /// The walk covers `crates/*/src/**` plus the umbrella package's own
@@ -267,7 +302,7 @@ impl LintContext {
         }
         files.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
         let readme = std::fs::read_to_string(root.join("README.md")).ok();
-        Ok(Self { root: root.to_path_buf(), files, readme })
+        Ok(Self::from_parts(root.to_path_buf(), files, readme))
     }
 
     /// The loaded file with this lint-root-relative path, if any.
@@ -386,6 +421,52 @@ mod tests {
         assert!(f.in_test(inner_call));
         let also = f.code.iter().position(|t| t.is_ident("also_live")).unwrap();
         assert!(!f.in_test(also));
+    }
+
+    #[test]
+    fn nested_cfg_test_mod_inside_excluded_mod_does_not_leak() {
+        // A `#[cfg(test)] mod` *inside* an already-excluded module must
+        // not truncate the outer span at its own closing brace: code after
+        // the inner module but still inside the outer one stays excluded,
+        // and the first live item after the outer module does not.
+        let f = file(
+            "#[cfg(test)]\nmod outer_tests {\n\
+                 fn helper() { () }\n\
+                 #[cfg(test)]\n    mod inner {\n        fn deep() { () }\n    }\n\
+                 fn tail_helper() { () }\n\
+             }\n\
+             fn live() { () }\n",
+        );
+        for name in ["helper", "deep", "tail_helper"] {
+            let idx = f.code.iter().position(|t| t.is_ident(name)).unwrap();
+            assert!(f.in_test(idx), "`{name}` leaked out of the excluded outer module");
+        }
+        let live = f.code.iter().position(|t| t.is_ident("live")).unwrap();
+        assert!(!f.in_test(live), "item after the outer test module was over-excluded");
+    }
+
+    #[test]
+    fn inner_test_mod_in_live_module_excludes_only_itself() {
+        let f = file(
+            "mod workers {\n\
+                 fn prod() { () }\n\
+                 #[cfg(test)]\n    mod tests {\n        fn t() { () }\n    }\n\
+                 fn also_prod() { () }\n\
+             }\n",
+        );
+        for name in ["prod", "also_prod"] {
+            let idx = f.code.iter().position(|t| t.is_ident(name)).unwrap();
+            assert!(!f.in_test(idx), "live `{name}` was swallowed by a sibling test module");
+        }
+        let t = f.code.iter().position(|t| t.is_ident("t")).unwrap();
+        assert!(f.in_test(t));
+    }
+
+    #[test]
+    fn fn_span_names_are_raw_ident_normalized() {
+        let f = file("fn r#try() { () }\nfn plain() { r#try() }\n");
+        let names: Vec<_> = f.fn_spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["try", "plain"]);
     }
 
     #[test]

@@ -1,0 +1,196 @@
+//! `condvar-wait-loop`: every `Condvar::wait` / `wait_timeout` must sit
+//! inside a `while`/`loop` that re-checks its predicate.
+//!
+//! A bare `cv.wait(guard)` is wrong twice over: spurious wakeups mean the
+//! predicate may be false when `wait` returns, and a notify landing
+//! between the predicate check and the `wait` call is silently lost —
+//! the generalization of the lost-wakeup class `notify-under-lock`
+//! already polices from the notifying side. `wait_while` /
+//! `wait_timeout_while` encapsulate the loop themselves and are exempt by
+//! construction (different method names).
+
+use crate::diagnostics::Diagnostic;
+use crate::tokens::TokenKind;
+use crate::{LintContext, SourceFile};
+
+use super::Rule;
+
+/// The bare waiting calls that require an enclosing re-check loop.
+const WAIT_CALLS: &[&str] = &["wait", "wait_timeout"];
+
+/// See the module docs.
+pub struct CondvarWaitLoop;
+
+impl Rule for CondvarWaitLoop {
+    fn name(&self) -> &'static str {
+        "condvar-wait-loop"
+    }
+
+    fn description(&self) -> &'static str {
+        "Condvar wait outside a while/loop predicate re-check in serving code"
+    }
+
+    fn check(&self, ctx: &LintContext) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for file in &ctx.files {
+            if !crate::lockgraph::in_scope(&file.rel_path) {
+                continue;
+            }
+            scan_file(file, &mut out);
+        }
+        out
+    }
+}
+
+fn scan_file(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let code = &file.code;
+    for j in 0..code.len() {
+        if !code[j].is_punct(".") {
+            continue;
+        }
+        let Some(name) = code.get(j + 1) else { continue };
+        if name.kind != TokenKind::Ident
+            || !WAIT_CALLS.contains(&name.text.as_str())
+            || !code.get(j + 2).is_some_and(|t| t.is_punct("("))
+            || file.in_test(j)
+        {
+            continue;
+        }
+        let Some(span) = file.enclosing_fn(j) else { continue };
+        if in_predicate_loop(file, span.body_start, j) {
+            continue;
+        }
+        out.push(file.diag(
+            name,
+            "condvar-wait-loop",
+            format!(
+                "`{}()` outside any `while`/`loop` — spurious wakeups and notifies that land \
+                 before the wait are lost; re-check the predicate in a loop or use `wait_while`",
+                name.text
+            ),
+        ));
+    }
+}
+
+/// True when some `while`/`loop` block opened after `body_start` is still
+/// open at `site` (the brace-frame stack records which `{` each loop
+/// keyword owns).
+fn in_predicate_loop(file: &SourceFile, body_start: usize, site: usize) -> bool {
+    let code = &file.code;
+    let mut frames: Vec<bool> = Vec::new();
+    let mut loop_pending = false;
+    for tok in &code[body_start..site] {
+        match tok.kind {
+            TokenKind::Ident if tok.text == "while" || tok.text == "loop" => loop_pending = true,
+            TokenKind::Punct if tok.text == "{" => {
+                frames.push(loop_pending);
+                loop_pending = false;
+            }
+            TokenKind::Punct if tok.text == "}" => {
+                frames.pop();
+            }
+            TokenKind::Punct if tok.text == ";" => loop_pending = false,
+            _ => {}
+        }
+    }
+    frames.iter().any(|&l| l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(src: &str) -> Vec<Diagnostic> {
+        let file = SourceFile::new("crates/server/src/lib.rs".into(), src.into());
+        let mut out = Vec::new();
+        scan_file(&file, &mut out);
+        out
+    }
+
+    #[test]
+    fn bare_wait_guarded_by_if_is_flagged() {
+        let out = findings(
+            "fn park(&self) {\n\
+                 let mut queue = self.admission.lock().unwrap();\n\
+                 if queue.is_empty() {\n\
+                     queue = self.admit_cv.wait(queue).unwrap();\n\
+                 }\n\
+             }\n",
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 4);
+        assert!(out[0].message.contains("wait()"));
+    }
+
+    #[test]
+    fn wait_inside_while_is_accepted() {
+        let out = findings(
+            "fn park(&self) {\n\
+                 let mut queue = self.admission.lock().unwrap();\n\
+                 while queue.is_empty() {\n\
+                     queue = self.admit_cv.wait(queue).unwrap();\n\
+                 }\n\
+             }\n",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn wait_timeout_inside_loop_is_accepted_even_under_inner_if() {
+        let out = findings(
+            "fn drain(&self) {\n\
+                 let mut queue = self.admission.lock().unwrap();\n\
+                 loop {\n\
+                     if queue.len() > 4 { break; }\n\
+                     let (q, timed_out) = self.admit_cv.wait_timeout(queue, WINDOW).unwrap();\n\
+                     queue = q;\n\
+                     if timed_out.timed_out() { break; }\n\
+                 }\n\
+             }\n",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn bare_wait_timeout_straight_line_is_flagged() {
+        let out = findings(
+            "fn pause(&self) {\n\
+                 let g = self.admission.lock().unwrap();\n\
+                 let _ = self.admit_cv.wait_timeout(g, WINDOW);\n\
+             }\n",
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("wait_timeout()"));
+    }
+
+    #[test]
+    fn wait_while_is_exempt_by_name() {
+        let out = findings(
+            "fn park(&self) {\n\
+                 let g = self.admission.lock().unwrap();\n\
+                 let g = self.admit_cv.wait_while(g, |q| q.is_empty()).unwrap();\n\
+             }\n",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn loop_closed_before_the_wait_does_not_count() {
+        let out = findings(
+            "fn park(&self) {\n\
+                 while self.spin() { () }\n\
+                 let g = self.admission.lock().unwrap();\n\
+                 let _ = self.admit_cv.wait(g);\n\
+             }\n",
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let out = findings(
+            "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t(cv: &Condvar, g: G) { cv.wait(g); }\n}\n",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

@@ -33,7 +33,7 @@ const ALLOC_METHODS: &[&str] = &["clone", "to_vec", "to_owned", "to_string", "co
 pub struct HotAlloc;
 
 /// True for function names the hot-path naming convention covers.
-fn is_hot_name(name: &str) -> bool {
+pub(crate) fn is_hot_name(name: &str) -> bool {
     name.ends_with("_into")
         || name.ends_with("_scratch")
         || name.contains("_into_")
@@ -89,8 +89,9 @@ fn scan_file(file: &SourceFile, out: &mut Vec<Diagnostic>) {
 }
 
 /// If the code tokens starting at `j` form an allocating construct,
-/// return its display form.
-fn match_alloc(file: &SourceFile, j: usize) -> Option<String> {
+/// return its display form. (Shared with `hot-alloc-transitive`, which
+/// propagates the same allocation predicate through the call graph.)
+pub(crate) fn match_alloc(file: &SourceFile, j: usize) -> Option<String> {
     let code = &file.code;
     let tok = &code[j];
     if tok.kind == TokenKind::Ident {
@@ -192,11 +193,7 @@ mod tests {
             "crates/server/src/x.rs".into(),
             "fn fill_into() { let v = Vec::new(); }\n".into(),
         );
-        let ctx = crate::LintContext {
-            root: std::path::PathBuf::from("."),
-            files: vec![file],
-            readme: None,
-        };
+        let ctx = crate::LintContext::from_parts(std::path::PathBuf::from("."), vec![file], None);
         assert!(HotAlloc.check(&ctx).is_empty());
     }
 }

@@ -6,7 +6,10 @@
 //! relaxed atomics, and a README stats glossary that tracks the counters
 //! the code actually emits.
 
+pub mod condvar_wait_loop;
 pub mod hot_alloc;
+pub mod hot_alloc_transitive;
+pub mod lock_order;
 pub mod no_panic;
 pub mod notify_under_lock;
 pub mod relaxed_justified;
@@ -28,7 +31,9 @@ pub trait Rule {
     fn check(&self, ctx: &LintContext) -> Vec<Diagnostic>;
 }
 
-/// All registered rules, in diagnostic-output order.
+/// All registered rules, in diagnostic-output order. The first five are
+/// the PR 7 token-scan families; the last three are the flow-aware
+/// families running over the pass-1 call/lock graphs.
 pub fn all() -> Vec<Box<dyn Rule>> {
     vec![
         Box::new(hot_alloc::HotAlloc),
@@ -36,5 +41,8 @@ pub fn all() -> Vec<Box<dyn Rule>> {
         Box::new(no_panic::NoPanicInServer),
         Box::new(relaxed_justified::RelaxedJustified),
         Box::new(stats_glossary::StatsGlossarySync),
+        Box::new(hot_alloc_transitive::HotAllocTransitive),
+        Box::new(lock_order::LockOrder),
+        Box::new(condvar_wait_loop::CondvarWaitLoop),
     ]
 }

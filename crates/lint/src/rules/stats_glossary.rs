@@ -128,11 +128,11 @@ mod tests {
     use std::path::PathBuf;
 
     fn ctx(rel: &str, src: &str, readme: Option<&str>) -> LintContext {
-        LintContext {
-            root: PathBuf::from("."),
-            files: vec![SourceFile::new(rel.into(), src.into())],
-            readme: readme.map(|r| r.into()),
-        }
+        LintContext::from_parts(
+            PathBuf::from("."),
+            vec![SourceFile::new(rel.into(), src.into())],
+            readme.map(|r| r.into()),
+        )
     }
 
     const KEY_VALUES: &str = "impl BatchStats {\n\

@@ -60,8 +60,22 @@ impl Token {
     }
 
     /// `true` when the token is an identifier with exactly this text.
+    ///
+    /// Raw identifiers keep their `r#` prefix in [`Token::text`], so
+    /// `r#fn` never satisfies `is_ident("fn")` — a raw identifier is by
+    /// definition *not* the keyword it spells. Structural scans that key
+    /// on keywords (`fn`-span detection, control-flow headers) rely on
+    /// this; name comparisons that should see through the prefix use
+    /// [`ident_name`] instead.
     pub fn is_ident(&self, text: &str) -> bool {
         self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// The identifier's name with any raw prefix (`r#`) stripped — the
+    /// form under which `fn r#try` and a call site `r#try(…)` (or plain
+    /// `try(…)` from an edition that allows it) compare equal.
+    pub fn ident_name(&self) -> &str {
+        ident_name(&self.text)
     }
 
     /// `true` when the token is punctuation with exactly this text.
@@ -96,6 +110,16 @@ impl<'s> Cursor<'s> {
         }
         Some(c)
     }
+}
+
+/// Strips the raw-identifier prefix from an identifier's text.
+///
+/// `r#match` → `match`, `r#fn` → `fn`; non-raw names pass through. Used
+/// wherever identifier *names* are compared across definition and use
+/// sites; keyword checks deliberately stay on the raw text (see
+/// [`Token::is_ident`]).
+pub fn ident_name(text: &str) -> &str {
+    text.strip_prefix("r#").unwrap_or(text)
 }
 
 fn is_ident_start(c: char) -> bool {
@@ -227,6 +251,16 @@ fn try_read_prefixed_string(cursor: &mut Cursor<'_>) -> Option<Token> {
             let mut token =
                 if raw { read_raw_string(cursor, 0) } else { read_quoted_string(cursor) };
             token.text.insert_str(0, &head);
+            Some(token)
+        }
+        // `b'x'` byte-char literal: one token, not ident `b` + char. (A
+        // `b'a`-without-close form reads as `b` + lifetime in rustc but is
+        // glued here too — classification fidelity matters less than
+        // lossless coverage for a form the compiler rejects.)
+        Some('\'') if head == "b" => {
+            let mut token = read_quote(cursor);
+            token.text.insert_str(0, &head);
+            token.kind = TokenKind::Char;
             Some(token)
         }
         Some('#') if is_raw_head && head.contains('r') => {
@@ -440,5 +474,67 @@ mod tests {
     fn raw_identifiers_stay_identifiers() {
         let toks = kinds("let r#match = 1;");
         assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "r#match"));
+    }
+
+    #[test]
+    fn raw_identifiers_never_satisfy_keyword_checks() {
+        // `r#fn` / `r#type` are identifiers *named* fn/type, not the
+        // keywords — a keyword match here would corrupt `fn`-span
+        // detection in pass 1 of the analyzer.
+        for src in ["let r#fn = 1;", "let r#type = 2;", "let r#while = 3;"] {
+            let toks = tokenize(src);
+            assert!(
+                !toks.iter().any(|t| t.is_ident("fn") || t.is_ident("type") || t.is_ident("while")),
+                "raw ident classified as keyword in {src:?}: {toks:?}"
+            );
+            assert_eq!(
+                toks.iter()
+                    .filter(|t| t.kind == TokenKind::Ident && t.text.starts_with("r#"))
+                    .count(),
+                1,
+                "{src:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ident_name_strips_only_the_raw_prefix() {
+        assert_eq!(ident_name("r#fn"), "fn");
+        assert_eq!(ident_name("r#type"), "type");
+        assert_eq!(ident_name("regular"), "regular");
+        // A name that merely starts with r# inside (impossible) or an `r`
+        // head without `#` is untouched.
+        assert_eq!(ident_name("r"), "r");
+        let toks = tokenize("r#try");
+        assert_eq!(toks[0].ident_name(), "try");
+    }
+
+    #[test]
+    fn raw_idents_adjacent_to_raw_strings() {
+        // The classic confusion: `r#ident` directly before `r#"…"#` must
+        // not let the ident's hash open a raw string (or vice versa).
+        let toks = kinds("let r#fn = r#\"body \"quoted\" end\"#; r#type");
+        let idents: Vec<_> = toks
+            .iter()
+            .filter(|(k, t)| *k == TokenKind::Ident && t.starts_with("r#"))
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, vec!["r#fn", "r#type"]);
+        let strs: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokenKind::Str).map(|(_, t)| t.as_str()).collect();
+        assert_eq!(strs, vec!["r#\"body \"quoted\" end\"#"]);
+        // Multi-hash raw string directly after a raw ident.
+        let toks = kinds("r#match r##\"has \"# inside\"##");
+        assert_eq!(toks[0], (TokenKind::Ident, "r#match".into()));
+        assert_eq!(toks[1], (TokenKind::Str, "r##\"has \"# inside\"##".into()));
+    }
+
+    #[test]
+    fn byte_char_literal_is_one_token() {
+        let toks = kinds("let x = b'a'; let nl = b'\\n'; let l: &'b u8;");
+        let chars: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokenKind::Char).map(|(_, t)| t.as_str()).collect();
+        assert_eq!(chars, vec!["b'a'", "b'\\n'"]);
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Lifetime && t == "'b"));
     }
 }

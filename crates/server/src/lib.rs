@@ -392,6 +392,7 @@ impl ServerHandle {
         let readers: Vec<_> =
             self.shared.readers.lock().unwrap_or_else(PoisonError::into_inner).drain(..).collect();
         for reader in readers {
+            // tspg-lint: allow(lock-order) — resolution artifact: this is `JoinHandle::join`, not `Server::join`, and the `readers` guard above is a temporary released at the collect's `;`
             let _ = reader.join();
         }
         let _ = std::fs::remove_file(&self.shared.path);

@@ -1,0 +1,176 @@
+//! Property-based test that `tspg-lint`'s tokenizer is lossless: the
+//! token stream (comments included) plus its inter-token gaps
+//! reconstructs the source byte for byte. Every lint rule reads positions
+//! and text out of this stream, so a dropped character or a drifting
+//! `line:col` here silently mis-anchors diagnostics and suppression
+//! pragmas everywhere.
+//!
+//! The generator joins fragments from a pool covering every lexical form
+//! the tokenizer claims to understand — raw identifiers, raw/byte
+//! strings, char vs. lifetime quotes, nested block comments — with random
+//! `\n`/space gaps. The same reconstruction is then run over the real
+//! repository sources as a fixed corpus.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use tspg_lint::tokens::{tokenize, Token};
+
+/// Every fragment tokenizes to one or more tokens whose concatenated
+/// text equals the fragment itself — that is the only property the pool
+/// relies on, so mixed forms (e.g. `0xff` as number + ident) are fine.
+const FRAGMENTS: &[&str] = &[
+    // Identifiers, keywords and raw identifiers.
+    "alpha",
+    "x1",
+    "fn",
+    "while",
+    "r#fn",
+    "r#type",
+    "r#match",
+    // Punctuation (single, combined `::`, and multi-char sequences that
+    // lex as several puncts).
+    "::",
+    "->",
+    "=>",
+    "==",
+    "{",
+    "}",
+    "(",
+    ")",
+    ";",
+    ",",
+    ".",
+    "&",
+    "#",
+    "!",
+    // Strings: plain, escaped, raw (with and without hashes), byte.
+    "\"plain\"",
+    "\"with \\\" escape and \\n\"",
+    "r\"raw no hash\"",
+    "r#\"has \"quotes\" inside\"#",
+    "r##\"nested \"# guard\"##",
+    "b\"bytes\"",
+    // Char literals vs. lifetimes — the single-quote ambiguity.
+    "'x'",
+    "'\\n'",
+    "'\\u{7f}'",
+    "b'a'",
+    "'a",
+    "'static",
+    // Numbers (integer part only; `0xff` lexes as number + ident).
+    "42",
+    "0xff",
+    // Comments, line and (nested) block.
+    "// a line comment",
+    "//! inner doc",
+    "/* block */",
+    "/* outer /* nested */ tail */",
+];
+
+/// Rebuilds the source from the token stream alone: `\n`s up to each
+/// token's line, spaces up to its column, then the token text (advancing
+/// the cursor through any embedded newlines).
+fn reconstruct(tokens: &[Token]) -> String {
+    let mut out = String::new();
+    let (mut line, mut col) = (1u32, 1u32);
+    for tok in tokens {
+        assert!(
+            (tok.line, tok.col) >= (line, col),
+            "token `{}` at {}:{} starts before the cursor {line}:{col}",
+            tok.text,
+            tok.line,
+            tok.col
+        );
+        while line < tok.line {
+            out.push('\n');
+            line += 1;
+            col = 1;
+        }
+        while col < tok.col {
+            out.push(' ');
+            col += 1;
+        }
+        for c in tok.text.chars() {
+            out.push(c);
+            if c == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Strategy: fragments joined by gaps of the shape `\n…\n ␣…␣` (newlines
+/// then spaces — the only inter-token whitespace the reconstruction can
+/// express). Gaps are never empty, and a gap after a line comment always
+/// contains a newline so the comment cannot swallow the next fragment.
+fn source() -> impl Strategy<Value = String> {
+    vec((0..FRAGMENTS.len(), 0u32..3, 0u32..4), 0..40).prop_map(|picks| {
+        let mut src = String::new();
+        for (i, (frag_idx, nl, sp)) in picks.iter().enumerate() {
+            let frag = FRAGMENTS[*frag_idx];
+            src.push_str(frag);
+            if i + 1 == picks.len() {
+                break;
+            }
+            let mut nl = *nl;
+            let mut sp = *sp;
+            if frag.starts_with("//") {
+                nl = nl.max(1);
+            }
+            if nl == 0 && sp == 0 {
+                sp = 1;
+            }
+            for _ in 0..nl {
+                src.push('\n');
+            }
+            for _ in 0..sp {
+                src.push(' ');
+            }
+        }
+        src
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Tokenization is lossless: spans + gaps give the source back.
+    #[test]
+    fn tokens_and_gaps_reconstruct_source(src in source()) {
+        prop_assert_eq!(reconstruct(&tokenize(&src)), src);
+    }
+}
+
+/// The same reconstruction over the real repository: every file the lint
+/// walk visits (rustfmt'd sources, so gaps are exactly spaces and
+/// newlines) must round-trip. This is the fixed corpus backing the
+/// randomized property, and it re-pins the walker's file-count floor.
+#[test]
+fn repository_sources_round_trip() {
+    let root = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let report = tspg_lint::lint_root(&root, &["hot-alloc".into()]).expect("lint walk failed");
+    assert!(
+        report.context.files.len() >= 55,
+        "suspiciously few files walked: {}",
+        report.context.files.len()
+    );
+    for file in &report.context.files {
+        // Whitespace after the last token is a gap with no successor, so
+        // it is unrecoverable from the stream by design; everything up to
+        // there must match byte for byte.
+        let recon = reconstruct(&file.tokens);
+        let tail = file
+            .text
+            .strip_prefix(&recon)
+            .unwrap_or_else(|| panic!("tokenizer round-trip failed for {}", file.rel_path));
+        assert!(
+            tail.chars().all(char::is_whitespace),
+            "non-whitespace after the last token in {}: {tail:?}",
+            file.rel_path
+        );
+    }
+}
