@@ -23,6 +23,7 @@
 //!   exp12      same-source frontier sharing on fan-outs (Exp-12, beyond the paper)
 //!   exp13      closed-loop latency through tspg-server  (Exp-13, beyond the paper)
 //!   exp14      arrival profiles on mixed-begin fan-outs (Exp-14, beyond the paper)
+//!   exp15      warm-cache serving under a live edge feed (Exp-15, beyond the paper)
 //!
 //! OPTIONS
 //!   --scale tiny|small|medium   dataset scale                (default small)
@@ -170,6 +171,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "exp12" | "frontier" => print(vec![exp12_frontier_sharing(&cfg, threads)]),
         "exp13" | "server" => print(vec![exp13_server_latency(&cfg, threads)]),
         "exp14" | "profiles" => print(vec![exp14_profile_sharing(&cfg, threads)]),
+        "exp15" | "ingest" => print(vec![exp15_live_ingestion(&cfg, threads)]),
         "all" => {
             print(vec![table1_datasets(&cfg)]);
             print(vec![exp1_response_time(&cfg)]);
@@ -190,6 +192,7 @@ fn run(args: &[String]) -> Result<(), String> {
             print(vec![exp12_frontier_sharing(&cfg, threads)]);
             print(vec![exp13_server_latency(&cfg, threads)]);
             print(vec![exp14_profile_sharing(&cfg, threads)]);
+            print(vec![exp15_live_ingestion(&cfg, threads)]);
         }
         other => return Err(format!("unknown subcommand {other:?}")),
     }
@@ -216,6 +219,6 @@ fn print_help() {
                 [--cache-size N] [--json PATH]\n\n\
          subcommands: all (default), table1, exp1, exp2, exp3, exp4, table2,\n\
                       exp5, exp5-theta, exp6, exp7, exp8, batch, exp10, exp11,\n\
-                      exp12, exp13, exp14"
+                      exp12, exp13, exp14, exp15"
     );
 }

@@ -12,12 +12,12 @@ use tspg_core::{
     PlannerConfig, QueryEngine, QuerySpec, VugResult,
 };
 use tspg_datasets::{
-    generate_fanout_workload, generate_overlapping_workload, generate_repeated_workload,
-    generate_transit, FanoutWorkloadConfig, GraphGenerator, OverlappingWorkloadConfig,
-    RepeatedWorkloadConfig,
+    generate_edge_stream, generate_fanout_workload, generate_overlapping_workload,
+    generate_repeated_workload, generate_transit, EdgeStreamConfig, FanoutWorkloadConfig,
+    GraphGenerator, OverlappingWorkloadConfig, RepeatedWorkloadConfig,
 };
 use tspg_enum::{count_paths, naive_tspg};
-use tspg_graph::{GraphStats, TimeInterval};
+use tspg_graph::{GraphStats, TemporalGraph, TimeInterval};
 
 /// Table I analogue: statistics of the generated datasets at the configured
 /// scale, next to the full-size statistics of the real datasets they mirror.
@@ -1013,6 +1013,159 @@ pub fn exp14_profile_sharing(cfg: &HarnessConfig, threads: usize) -> Table {
     table
 }
 
+/// Exp-15 (beyond the paper): warm-cache serving under a live edge feed.
+///
+/// The serving experiments above all hold the graph fixed; a live
+/// deployment does not. This experiment drives the epoch-versioned
+/// invalidation machinery end to end: a fan-out serving workload runs warm
+/// on a caching engine while a streamed edge feed
+/// ([`tspg_datasets::generate_edge_stream`]) lands batch after batch via
+/// [`QueryEngine::ingest`]. Every ingestion bumps the graph epoch and
+/// flushes the result cache, so the next pass re-answers every query
+/// against the mutated graph; a replay of the same pass then shows the hit
+/// rate recovering from the flush.
+///
+/// The no-stale proof obligation is checked inline at every epoch: each
+/// served answer is compared byte-for-byte against a cache-less engine
+/// built from scratch over the current edge set. The `identical` column
+/// records that cross-check (and the post-ingest vs replay agreement) for
+/// CI to grep.
+///
+/// # Panics
+///
+/// Panics if a served answer diverges from the fresh-engine answer at any
+/// epoch (a stale read), if an ingestion fails to advance the epoch by
+/// exactly one, or if a replay reports no new result-cache hits (the hit
+/// rate never recovered) — CI runs this experiment on every push and greps
+/// the identity column.
+pub fn exp15_live_ingestion(cfg: &HarnessConfig, threads: usize) -> Table {
+    let threads = threads.max(1);
+    let mut table = Table::new(
+        format!("Exp-15 — warm-cache serving under a live edge feed ({threads} threads)"),
+        &[
+            "graph",
+            "|V|",
+            "|E| start",
+            "|E| end",
+            "queries",
+            "epochs",
+            "ingested",
+            "cold",
+            "post-ingest",
+            "replay",
+            "recovered hits",
+            "identical",
+        ],
+    );
+    // Same serving-graph shapes as Exp-12/Exp-14.
+    let edges = cfg.scale.min_edges.max(300);
+    let vertices = (edges / 6).max(24);
+    let timestamps = (edges / 10).max(40);
+    let theta = (timestamps as i64 / 16).max(2);
+    let shapes = [
+        ("uniform", GraphGenerator::uniform(vertices, edges, timestamps)),
+        ("hub", GraphGenerator::hub(vertices, edges, timestamps, 1.2)),
+    ];
+    for (name, generator) in shapes {
+        let graph = generator.generate(cfg.seed ^ 0x15);
+        let bursts = cfg.queries_per_dataset.max(1);
+        let workload_cfg = FanoutWorkloadConfig::new(bursts * 4, bursts, theta);
+        let queries = match generate_fanout_workload(&graph, &workload_cfg, cfg.seed) {
+            Ok(queries) => queries,
+            Err(e) => {
+                eprintln!("exp15: skipping {name} graph — workload generation failed: {e}");
+                continue;
+            }
+        };
+        // The feed lands inside the graph's existing time domain, so the
+        // new edges intersect live query windows and actually change
+        // answers rather than appending dead weight past every window.
+        let t_min = graph.edges().iter().map(|e| e.time).min().unwrap_or(0);
+        let t_max = graph.edges().iter().map(|e| e.time).max().unwrap_or(0);
+        let epochs = 3usize;
+        let per_batch = (edges / 40).max(8);
+        let step = ((t_max - t_min) / (epochs as i64 + 1)).max(1);
+        let stream_cfg = EdgeStreamConfig::new(epochs, per_batch, t_min).with_time_step(step);
+        let stream = match generate_edge_stream(&graph, &stream_cfg, cfg.seed ^ 0x51) {
+            Ok(stream) => stream,
+            Err(e) => {
+                eprintln!("exp15: skipping {name} graph — edge stream generation failed: {e}");
+                continue;
+            }
+        };
+
+        // One live engine for the whole feed, default caches on.
+        let mut engine = QueryEngine::new(graph.clone());
+        let started = Instant::now();
+        let _ = engine.run_batch_with_stats(&queries, threads);
+        let cold_time = started.elapsed();
+
+        let mut union = graph.edges().to_vec();
+        let mut post_total = std::time::Duration::ZERO;
+        let mut replay_total = std::time::Duration::ZERO;
+        let mut recovered = 0u64;
+        let mut ingested = 0usize;
+        let mut final_edges = graph.num_edges();
+        let mut identical = true;
+        let mut scratch = tspg_core::QueryScratch::new();
+        for (i, batch) in stream.iter().enumerate() {
+            let before = engine.epoch();
+            let epoch = engine.ingest(batch);
+            assert_eq!(epoch, before.next(), "{name}: epoch {i}: ingestion must advance by one");
+            ingested += batch.len();
+            union.extend_from_slice(batch);
+            let cache =
+                || engine.cache_stats().expect("exp15 runs with the default result cache enabled");
+            let hits_before = cache().hits;
+
+            let started = Instant::now();
+            let (post, _) = engine.run_batch_with_stats(&queries, threads);
+            post_total += started.elapsed();
+
+            // The no-stale obligation: a fresh cache-less engine over the
+            // current edge set must agree byte-for-byte on every query.
+            let fresh =
+                QueryEngine::new(TemporalGraph::from_edges(graph.num_vertices(), union.clone()))
+                    .without_cache();
+            let fresh_ok = queries
+                .iter()
+                .zip(post.iter())
+                .all(|(&q, served)| fresh.run(q, &mut scratch).tspg == served.tspg);
+            assert!(fresh_ok, "{name}: epoch {i}: a served answer went stale after ingestion");
+            final_edges = fresh.graph().num_edges();
+
+            let started = Instant::now();
+            let (replay, _) = engine.run_batch_with_stats(&queries, threads);
+            replay_total += started.elapsed();
+            let replay_ok = replay.iter().zip(post.iter()).all(|(a, b)| a.tspg == b.tspg);
+            assert!(replay_ok, "{name}: epoch {i}: warm replay diverged from the post-ingest run");
+            identical &= fresh_ok && replay_ok;
+
+            let hits_after = cache().hits;
+            assert!(
+                hits_after > hits_before,
+                "{name}: epoch {i}: the hit rate must recover after the epoch flush"
+            );
+            recovered += hits_after - hits_before;
+        }
+        table.push_row(vec![
+            name.to_string(),
+            graph.num_vertices().to_string(),
+            graph.num_edges().to_string(),
+            final_edges.to_string(),
+            queries.len().to_string(),
+            epochs.to_string(),
+            ingested.to_string(),
+            format_duration(cold_time),
+            format_duration(post_total),
+            format_duration(replay_total),
+            recovered.to_string(),
+            identical.to_string(),
+        ]);
+    }
+    table
+}
+
 /// Sorted-latency percentile (nearest-rank on the closed interval).
 fn percentile(sorted: &[std::time::Duration], p: f64) -> std::time::Duration {
     if sorted.is_empty() {
@@ -1363,6 +1516,15 @@ mod tests {
     #[test]
     fn exp14_profile_sharing_forms_groups_and_stays_identical() {
         let t = exp14_profile_sharing(&smoke_cfg(), 2);
+        assert_eq!(t.num_rows(), 2);
+        let text = t.render();
+        assert!(text.contains("true"), "{text}");
+        assert!(!text.contains("false"), "{text}");
+    }
+
+    #[test]
+    fn exp15_live_ingestion_recovers_hits_and_never_serves_stale() {
+        let t = exp15_live_ingestion(&smoke_cfg(), 2);
         assert_eq!(t.num_rows(), 2);
         let text = t.render();
         assert!(text.contains("true"), "{text}");

@@ -13,7 +13,8 @@
 //!            [--no-cache] [--envelope-factor K] [--no-envelopes]
 //!            [--envelope-density-cutoff R] [--no-profile-sharing]
 //!            [--profile-density-cutoff R] [--profile-cache-size N] [--quiet]
-//! tspg client <query-file> --socket PATH [--stats] [--shutdown] [--quiet]
+//! tspg client <query-file> --socket PATH [--ingest FILE] [--stats] [--shutdown]
+//!            [--quiet]
 //! ```
 //!
 //! The edge-list format is one `src dst timestamp` triple per line (`#` and
@@ -34,7 +35,7 @@ use tspg_core::{
 };
 use tspg_datasets::{find, format_queries, generate_workload, parse_queries, Scale};
 use tspg_enum::{enumerate_paths, Budget};
-use tspg_graph::{io, GraphStats, TemporalGraph, TimeInterval, VertexId};
+use tspg_graph::{io, GraphStats, TemporalEdge, TemporalGraph, TimeInterval, VertexId};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -84,7 +85,8 @@ fn usage() -> String {
                   [--no-cache] [--envelope-factor K] [--no-envelopes]\n\
                   [--envelope-density-cutoff R] [--no-profile-sharing]\n\
                   [--profile-density-cutoff R] [--profile-cache-size N] [--quiet]\n\
-       tspg client <query-file> --socket PATH [--stats] [--shutdown] [--quiet]\n"
+       tspg client <query-file> --socket PATH [--ingest FILE] [--stats] [--shutdown]\n\
+                  [--quiet]\n"
         .to_string()
 }
 
@@ -459,9 +461,47 @@ fn cmd_batch(args: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
+/// Parses an ingest file: one `src dst time` triple per line, `#`/`%`
+/// comments, with blank lines separating batches (each batch becomes one
+/// `ingest` request and thus one graph epoch).
+fn parse_edge_batches(path: &str) -> Result<Vec<Vec<TemporalEdge>>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut batches: Vec<Vec<TemporalEdge>> = Vec::new();
+    let mut current: Vec<TemporalEdge> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split(['#', '%']).next().unwrap_or("").trim();
+        if line.is_empty() {
+            if raw.trim().is_empty() && !current.is_empty() {
+                batches.push(std::mem::take(&mut current));
+            }
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        let mut field = |what: &str| -> Result<&str, String> {
+            fields.next().ok_or_else(|| format!("{path}:{}: missing {what}", lineno + 1))
+        };
+        let src: VertexId = parse_number(field("source vertex")?, "source vertex")?;
+        let dst: VertexId = parse_number(field("target vertex")?, "target vertex")?;
+        let time: i64 = parse_number(field("timestamp")?, "timestamp")?;
+        if let Some(extra) = fields.next() {
+            return Err(format!("{path}:{}: unexpected field {extra:?}", lineno + 1));
+        }
+        current.push(TemporalEdge::new(src, dst, time));
+    }
+    if !current.is_empty() {
+        batches.push(current);
+    }
+    Ok(batches)
+}
+
 /// Speaks the `tspg-server` wire protocol: connects to the socket, pipelines
 /// the whole query file, prints the answers in the same per-query format as
 /// `tspg batch` (so the two outputs can be diffed directly, timings aside).
+///
+/// With `--ingest FILE`, the file's edge batches (one `src dst time` triple
+/// per line, blank lines separating batches, `#`/`%` comments allowed) are
+/// sent and acknowledged *before* the queries, so every printed answer
+/// reflects the mutated graph.
 fn cmd_client(args: &[String]) -> Result<String, String> {
     use tspg_server::protocol::{self, Response};
 
@@ -490,6 +530,34 @@ fn cmd_client(args: &[String]) -> Result<String, String> {
         }
         Ok(line.trim_end().to_string())
     };
+
+    let mut out = String::new();
+    if let Some(ingest_path) = flags.get("ingest") {
+        let batches = parse_edge_batches(ingest_path)?;
+        if batches.is_empty() {
+            return Err(format!("{ingest_path} contains no edges"));
+        }
+        // Apply every mutation batch and wait for its acknowledgement
+        // before pipelining the queries: the answers printed below must
+        // all reflect the mutated graph.
+        for batch in &batches {
+            writer
+                .write_all(protocol::format_ingest(batch).as_bytes())
+                .and_then(|()| writer.write_all(b"\n"))
+                .and_then(|()| writer.flush())
+                .map_err(|e| format!("write to {socket}: {e}"))?;
+            let line = read_line(&mut reader)?;
+            match protocol::parse_response(&line).map_err(|e| format!("{socket}: {e}"))? {
+                Response::Ingested { epoch, edges } => {
+                    out.push_str(&format!("ingested {edges} edges, graph at epoch {epoch}\n"));
+                }
+                Response::Error { message, .. } => {
+                    return Err(format!("{socket}: ingest rejected: {message}"));
+                }
+                other => return Err(format!("{socket}: unexpected reply {other:?}")),
+            }
+        }
+    }
 
     // Pipeline the whole file, tagging each request with its file index, so
     // concurrent strangers' queries can share the server's admission batch.
@@ -526,7 +594,6 @@ fn cmd_client(args: &[String]) -> Result<String, String> {
     }
     let wall = started.elapsed();
 
-    let mut out = String::new();
     let mut total_edges = 0u64;
     for (i, q) in queries.iter().enumerate() {
         let Some(payload) = &answers[i] else { continue };
@@ -994,6 +1061,39 @@ mod tests {
         assert!(err.contains("--threads"), "{err}");
         std::fs::remove_file(bad_path).ok();
         std::fs::remove_file(graph_path).ok();
+    }
+
+    #[test]
+    fn client_ingest_flag_mutates_the_served_graph_before_querying() {
+        use tspg_server::{Server, ServerConfig};
+
+        let tag = format!("{}_{:?}", std::process::id(), std::thread::current().id());
+        let query_path = std::env::temp_dir().join(format!("tspg_cli_ingest_q_{tag}.txt"));
+        std::fs::write(&query_path, "0 7 2 7\n").unwrap();
+        let q = query_path.to_str().unwrap();
+        // Two batches (blank-line separated) with comments: two epochs.
+        let delta_path = std::env::temp_dir().join(format!("tspg_cli_ingest_d_{tag}.txt"));
+        std::fs::write(&delta_path, "# direct edge inside the window\n0 7 5\n\n1 7 6 % late\n")
+            .unwrap();
+        let d = delta_path.to_str().unwrap();
+        let socket = std::env::temp_dir().join(format!("tspg_cli_ingest_{tag}.sock"));
+        let handle =
+            Server::bind(QueryEngine::new(figure1_graph()), &socket, ServerConfig::default())
+                .unwrap();
+        let s = socket.to_str().unwrap();
+
+        let before = dispatch(&args(&["client", q, "--socket", s])).unwrap();
+        let after = dispatch(&args(&["client", q, "--socket", s, "--ingest", d])).unwrap();
+        assert!(after.contains("ingested 1 edges, graph at epoch 1\n"), "{after}");
+        assert!(after.contains("ingested 1 edges, graph at epoch 2\n"), "{after}");
+        let answer =
+            |text: &str| text.lines().find(|l| l.starts_with('#')).map(|l| l.to_string()).unwrap();
+        assert_ne!(answer(&before), answer(&after), "ingest must change the answer");
+
+        dispatch(&args(&["client", q, "--socket", s, "--quiet", "--shutdown"])).unwrap();
+        handle.join();
+        std::fs::remove_file(query_path).ok();
+        std::fs::remove_file(delta_path).ok();
     }
 
     #[test]

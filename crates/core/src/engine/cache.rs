@@ -1,10 +1,16 @@
 //! Sharded LRU cache of query results, keyed by canonical
 //! `(s, t, [τ_b, τ_e])` queries.
 //!
-//! The engine's graph is immutable once loaded, so a query's tspG never
-//! changes and memoizing whole [`VugResult`]s is sound. The cache is
-//! consulted before batch planning and populated after execution; under
-//! repeated-query serving traffic a hit skips the entire pipeline.
+//! The engine's graph is immutable between edge ingestions, so a query's
+//! tspG never changes within one graph epoch and memoizing whole
+//! [`VugResult`]s is sound. The cache is consulted before batch planning
+//! and populated after execution; under repeated-query serving traffic a
+//! hit skips the entire pipeline. When the graph mutates
+//! ([`crate::engine::QueryEngine::ingest`]) the whole cache is flushed via
+//! [`ResultCache::clear`] — an epoch-scoped flush is equivalent to
+//! epoch-tagged keys here because result keys are dense and short-lived,
+//! and it releases the stale entries' memory immediately instead of
+//! waiting for LRU pressure.
 //!
 //! The map is split into independently locked shards (key-hash selected) so
 //! that concurrent executor workers and front-end threads do not serialize
@@ -22,7 +28,7 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use tspg_graph::{EdgeSet, TimeInterval, VertexId};
+use tspg_graph::{EdgeSet, GraphEpoch, TimeInterval, VertexId};
 
 /// Sizing of a [`ResultCache`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -30,7 +36,9 @@ pub struct CacheConfig {
     /// Maximum number of cached results across all shards (≥ 1).
     pub max_entries: usize,
     /// Approximate upper bound on cached heap bytes across all shards.
-    /// Results larger than one shard's share are not cached at all.
+    /// A single result larger than this whole budget is not cached at all;
+    /// one merely larger than its shard's share is still admitted (it
+    /// simply becomes the only resident entry of its shard).
     pub max_bytes: usize,
     /// Number of independently locked shards (≥ 1; rounded up to 1).
     pub shards: usize,
@@ -155,6 +163,14 @@ impl Shard {
 
     /// Inserts (or refreshes) an entry, then evicts from the tail until the
     /// shard is within both bounds. Returns `(inserted, evicted)`.
+    ///
+    /// Admission is checked against `global_max_bytes` (the whole cache's
+    /// configured budget), not the shard's share: a result that fits the
+    /// budget the caller configured must never be silently refused just
+    /// because key hashing divided that budget by the shard count. The
+    /// eviction loop below still enforces `max_bytes` (the per-shard
+    /// share), but its `len() > 1` guard lets a single oversized entry
+    /// live alone in its shard.
     fn insert(
         &mut self,
         key: QuerySpec,
@@ -162,8 +178,9 @@ impl Shard {
         bytes: usize,
         max_entries: usize,
         max_bytes: usize,
+        global_max_bytes: usize,
     ) -> (bool, u64) {
-        if bytes > max_bytes || max_entries == 0 {
+        if bytes > global_max_bytes || max_entries == 0 {
             return (false, 0);
         }
         let inserted = match self.map.get(&key) {
@@ -215,6 +232,21 @@ impl Shard {
         }
         (inserted, evicted)
     }
+
+    /// Drops every resident entry and releases its heap allocation, keeping
+    /// the slot arena's capacity for reuse.
+    fn clear(&mut self) {
+        self.map.clear();
+        self.free.clear();
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            slot.value = VugResult { tspg: EdgeSet::new(), report: VugReport::default() };
+            slot.bytes = 0;
+            self.free.push(i);
+        }
+        self.head = NIL;
+        self.tail = NIL;
+        self.bytes = 0;
+    }
 }
 
 /// The engine's sharded LRU result cache. See the module docs.
@@ -223,6 +255,7 @@ pub struct ResultCache {
     shards: Vec<Mutex<Shard>>,
     max_entries_per_shard: usize,
     max_bytes_per_shard: usize,
+    max_bytes_global: usize,
     hits: AtomicU64,
     misses: AtomicU64,
     insertions: AtomicU64,
@@ -239,6 +272,7 @@ impl ResultCache {
             shards: (0..shards).map(|_| Mutex::new(Shard::new())).collect(),
             max_entries_per_shard: (config.max_entries / shards).max(1),
             max_bytes_per_shard: (config.max_bytes / shards).max(1),
+            max_bytes_global: config.max_bytes,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
@@ -265,13 +299,19 @@ impl ResultCache {
     }
 
     /// Stores the result of a canonical query, evicting LRU entries as
-    /// needed. Oversized results (larger than one shard's byte share) are
-    /// silently skipped.
+    /// needed. Oversized results (larger than the whole configured byte
+    /// budget) are silently skipped.
     pub fn insert(&self, key: QuerySpec, value: &VugResult) {
         let bytes = entry_bytes(value);
         let Ok(mut shard) = self.shard(&key).lock() else { return };
-        let (inserted, evicted) =
-            shard.insert(key, value, bytes, self.max_entries_per_shard, self.max_bytes_per_shard);
+        let (inserted, evicted) = shard.insert(
+            key,
+            value,
+            bytes,
+            self.max_entries_per_shard,
+            self.max_bytes_per_shard,
+            self.max_bytes_global,
+        );
         drop(shard);
         // relaxed: insertion/eviction tallies are pure statistics; the
         // cached data itself is published by the shard mutex above.
@@ -280,6 +320,22 @@ impl ResultCache {
         }
         if evicted > 0 {
             self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    /// Drops every resident entry at once — the graph-epoch flush.
+    ///
+    /// Called when the underlying graph mutates: every cached tspG was
+    /// computed against the previous epoch and must become unreachable.
+    /// Flushed entries are not counted as evictions (`cache_evictions`
+    /// keeps measuring capacity pressure, not invalidation); the hit/miss
+    /// history is preserved so hit-rate recovery after an ingest is
+    /// observable in the same counters.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            if let Ok(mut shard) = shard.lock() {
+                shard.clear();
+            }
         }
     }
 
@@ -390,19 +446,17 @@ impl ProfileCacheStats {
 
 /// Cache key for one source's resident arrival profile.
 ///
-/// `epoch` is the graph version the profile was computed against. The graph
-/// is immutable today so every key carries [`PROFILE_EPOCH`], but the slot
-/// is load-bearing for the ROADMAP streaming-mutation item: bumping the
-/// engine's epoch makes every resident profile unreachable without a
-/// stop-the-world flush.
+/// `epoch` is the [`GraphEpoch`] the profile was computed against, supplied
+/// by the engine from the live graph on every lookup and insert. Bumping
+/// the graph's epoch therefore makes every resident profile unreachable
+/// without a stop-the-world flush: old-epoch entries linger until LRU
+/// pressure reclaims them, but no key built from the live graph can ever
+/// address one.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 struct ProfileKey {
     source: VertexId,
-    epoch: u32,
+    epoch: GraphEpoch,
 }
-
-/// The only graph epoch that exists while the graph is immutable.
-const PROFILE_EPOCH: u32 = 0;
 
 #[derive(Debug)]
 struct ProfileEntry {
@@ -455,10 +509,16 @@ impl ProfileCache {
         }
     }
 
-    /// Looks up a resident profile for `source` able to answer `window`,
-    /// refreshing its recency.
-    pub fn get(&self, source: VertexId, window: TimeInterval) -> Option<Arc<ArrivalProfile>> {
-        let key = ProfileKey { source, epoch: PROFILE_EPOCH };
+    /// Looks up a resident profile for `source` computed at `epoch` and
+    /// able to answer `window`, refreshing its recency. Profiles from any
+    /// other epoch are unreachable by key construction.
+    pub fn get(
+        &self,
+        source: VertexId,
+        epoch: GraphEpoch,
+        window: TimeInterval,
+    ) -> Option<Arc<ArrivalProfile>> {
+        let key = ProfileKey { source, epoch };
         let found = match self.inner.lock() {
             Ok(mut inner) => {
                 inner.tick += 1;
@@ -483,15 +543,16 @@ impl ProfileCache {
         found
     }
 
-    /// Stores a profile under its source, replacing any resident profile
-    /// for that source and evicting LRU entries as needed. Profiles larger
-    /// than the whole byte bound are silently skipped.
-    pub fn insert(&self, profile: Arc<ArrivalProfile>) {
+    /// Stores a profile under its source and the graph `epoch` it was
+    /// computed at, replacing any resident profile for that `(source,
+    /// epoch)` and evicting LRU entries as needed. Profiles larger than the
+    /// whole byte bound are silently skipped.
+    pub fn insert(&self, profile: Arc<ArrivalProfile>, epoch: GraphEpoch) {
         let bytes = profile_bytes(&profile);
         if bytes > self.max_bytes {
             return;
         }
-        let key = ProfileKey { source: profile.source(), epoch: PROFILE_EPOCH };
+        let key = ProfileKey { source: profile.source(), epoch };
         let Ok(mut inner) = self.inner.lock() else { return };
         inner.tick += 1;
         let tick = inner.tick;
@@ -651,6 +712,54 @@ mod tests {
     }
 
     #[test]
+    fn oversized_entry_fitting_global_budget_is_admitted_in_sharded_cache() {
+        // Regression: admission used to be checked against max_bytes /
+        // shards, so an entry within the configured global budget but above
+        // one shard's share was silently refused whenever shards > 1.
+        let per_entry = entry_bytes(&result(4));
+        let global = 3 * per_entry; // per-shard share = 3/4 of one entry
+        let cache = ResultCache::new(CacheConfig { max_entries: 64, max_bytes: global, shards: 4 });
+        cache.insert(key(1), &result(4));
+        assert!(cache.get(&key(1)).is_some(), "entry within global budget must be cached");
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1, "{stats:?}");
+        assert_eq!(stats.insertions, 1, "{stats:?}");
+        // It lives alone in its shard: inserting a second entry that hashes
+        // to the same shard may evict one, but the global byte budget holds.
+        for i in 2..32 {
+            cache.insert(key(i), &result(4));
+        }
+        assert!(cache.stats().bytes <= global + 3 * per_entry, "one oversized entry per shard");
+        // Entries above the global budget are still refused outright.
+        let tiny =
+            ResultCache::new(CacheConfig { max_entries: 64, max_bytes: per_entry - 1, shards: 4 });
+        tiny.insert(key(1), &result(4));
+        assert_eq!(tiny.stats().entries, 0);
+    }
+
+    #[test]
+    fn clear_flushes_every_shard_without_counting_evictions() {
+        let cache =
+            ResultCache::new(CacheConfig { max_entries: 64, max_bytes: 1 << 20, shards: 4 });
+        for i in 0..16 {
+            cache.insert(key(i), &result(2));
+        }
+        assert!(cache.stats().entries > 0);
+        cache.clear();
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 0, "{stats:?}");
+        assert_eq!(stats.bytes, 0, "{stats:?}");
+        assert_eq!(stats.evictions, 0, "an epoch flush is not capacity pressure");
+        assert_eq!(stats.insertions, 16, "history survives the flush");
+        for i in 0..16 {
+            assert!(cache.get(&key(i)).is_none(), "flushed entries must be gone");
+        }
+        // The cache keeps working after a flush (slot arena is reused).
+        cache.insert(key(0), &result(2));
+        assert!(cache.get(&key(0)).is_some());
+    }
+
+    #[test]
     fn tiny_entry_bounds_are_honored_even_with_many_shards() {
         // max_entries < shards must not inflate the global bound to one
         // entry per shard.
@@ -689,15 +798,15 @@ mod tests {
     #[test]
     fn profile_cache_hits_any_covered_window_and_counts() {
         let cache = ProfileCache::new(ProfileCacheConfig::default());
-        assert!(cache.get(0, TimeInterval::new(2, 6)).is_none());
-        cache.insert(profile(0, 1, 9));
+        assert!(cache.get(0, GraphEpoch::ZERO, TimeInterval::new(2, 6)).is_none());
+        cache.insert(profile(0, 1, 9), GraphEpoch::ZERO);
         // Any sub-window of the resident hull hits, begins included.
         for begin in 1..=5 {
-            assert!(cache.get(0, TimeInterval::new(begin, 6)).is_some());
+            assert!(cache.get(0, GraphEpoch::ZERO, TimeInterval::new(begin, 6)).is_some());
         }
         // Other sources and wider windows miss.
-        assert!(cache.get(1, TimeInterval::new(2, 6)).is_none());
-        assert!(cache.get(0, TimeInterval::new(0, 6)).is_none());
+        assert!(cache.get(1, GraphEpoch::ZERO, TimeInterval::new(2, 6)).is_none());
+        assert!(cache.get(0, GraphEpoch::ZERO, TimeInterval::new(0, 6)).is_none());
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.insertions), (5, 3, 1));
         assert_eq!(stats.entries, 1);
@@ -707,10 +816,13 @@ mod tests {
     #[test]
     fn profile_cache_replaces_stale_narrow_profiles_in_place() {
         let cache = ProfileCache::new(ProfileCacheConfig::with_max_entries(4));
-        cache.insert(profile(0, 3, 5));
-        assert!(cache.get(0, TimeInterval::new(1, 9)).is_none(), "narrow hull must miss");
-        cache.insert(profile(0, 1, 9));
-        assert!(cache.get(0, TimeInterval::new(1, 9)).is_some());
+        cache.insert(profile(0, 3, 5), GraphEpoch::ZERO);
+        assert!(
+            cache.get(0, GraphEpoch::ZERO, TimeInterval::new(1, 9)).is_none(),
+            "narrow hull must miss"
+        );
+        cache.insert(profile(0, 1, 9), GraphEpoch::ZERO);
+        assert!(cache.get(0, GraphEpoch::ZERO, TimeInterval::new(1, 9)).is_some());
         let stats = cache.stats();
         assert_eq!(stats.entries, 1, "same source replaces, never duplicates");
         assert_eq!(stats.insertions, 2);
@@ -720,14 +832,17 @@ mod tests {
     #[test]
     fn profile_cache_evicts_least_recently_used_sources() {
         let cache = ProfileCache::new(ProfileCacheConfig::with_max_entries(2));
-        cache.insert(profile(0, 1, 9));
-        cache.insert(profile(1, 1, 9));
+        cache.insert(profile(0, 1, 9), GraphEpoch::ZERO);
+        cache.insert(profile(1, 1, 9), GraphEpoch::ZERO);
         // Touch source 0 so source 1 becomes LRU.
-        assert!(cache.get(0, TimeInterval::new(2, 6)).is_some());
-        cache.insert(profile(2, 1, 9));
-        assert!(cache.get(1, TimeInterval::new(2, 6)).is_none(), "LRU source must be evicted");
-        assert!(cache.get(0, TimeInterval::new(2, 6)).is_some());
-        assert!(cache.get(2, TimeInterval::new(2, 6)).is_some());
+        assert!(cache.get(0, GraphEpoch::ZERO, TimeInterval::new(2, 6)).is_some());
+        cache.insert(profile(2, 1, 9), GraphEpoch::ZERO);
+        assert!(
+            cache.get(1, GraphEpoch::ZERO, TimeInterval::new(2, 6)).is_none(),
+            "LRU source must be evicted"
+        );
+        assert!(cache.get(0, GraphEpoch::ZERO, TimeInterval::new(2, 6)).is_some());
+        assert!(cache.get(2, GraphEpoch::ZERO, TimeInterval::new(2, 6)).is_some());
         assert_eq!(cache.stats().evictions, 1);
         assert_eq!(cache.stats().entries, 2);
     }
@@ -739,17 +854,34 @@ mod tests {
             max_entries: 1024,
             max_bytes: 2 * per_entry + per_entry / 2,
         });
-        cache.insert(profile(0, 1, 9));
-        cache.insert(profile(1, 1, 9));
-        cache.insert(profile(2, 1, 9));
+        cache.insert(profile(0, 1, 9), GraphEpoch::ZERO);
+        cache.insert(profile(1, 1, 9), GraphEpoch::ZERO);
+        cache.insert(profile(2, 1, 9), GraphEpoch::ZERO);
         let stats = cache.stats();
         assert!(stats.entries <= 2, "byte bound must hold: {stats:?}");
         assert!(stats.bytes <= 2 * per_entry + per_entry / 2);
         assert!(stats.evictions >= 1);
         // A profile bigger than the whole bound is never admitted.
         let tiny = ProfileCache::new(ProfileCacheConfig { max_entries: 1024, max_bytes: 1 });
-        tiny.insert(profile(0, 1, 9));
+        tiny.insert(profile(0, 1, 9), GraphEpoch::ZERO);
         assert_eq!(tiny.stats().entries, 0);
+    }
+
+    #[test]
+    fn profile_cache_scopes_entries_to_their_epoch() {
+        let cache = ProfileCache::new(ProfileCacheConfig::with_max_entries(8));
+        cache.insert(profile(0, 1, 9), GraphEpoch::ZERO);
+        assert!(cache.get(0, GraphEpoch::ZERO, TimeInterval::new(2, 6)).is_some());
+        // The same source at a newer epoch misses: the old profile is
+        // unreachable by key construction, no flush required.
+        let next = GraphEpoch::ZERO.next();
+        assert!(cache.get(0, next, TimeInterval::new(2, 6)).is_none());
+        cache.insert(profile(0, 1, 9), next);
+        assert!(cache.get(0, next, TimeInterval::new(2, 6)).is_some());
+        // Both epochs' entries are resident until LRU pressure reclaims the
+        // stale one; the new epoch never sees it.
+        assert_eq!(cache.stats().entries, 2);
+        assert!(cache.get(0, next.next(), TimeInterval::new(2, 6)).is_none());
     }
 
     #[test]
@@ -761,8 +893,8 @@ mod tests {
                 scope.spawn(move || {
                     for i in 0..50 {
                         let source = (i + worker) % 12;
-                        if cache.get(source, TimeInterval::new(2, 6)).is_none() {
-                            cache.insert(profile(source, 1, 9));
+                        if cache.get(source, GraphEpoch::ZERO, TimeInterval::new(2, 6)).is_none() {
+                            cache.insert(profile(source, 1, 9), GraphEpoch::ZERO);
                         }
                     }
                 });

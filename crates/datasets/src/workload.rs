@@ -25,7 +25,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt;
 use tspg_graph::io::strip_line_comment;
-use tspg_graph::{TemporalGraph, TimeInterval, VertexId};
+use tspg_graph::{TemporalEdge, TemporalGraph, TimeInterval, VertexId};
 
 pub use tspg_graph::Query;
 
@@ -475,6 +475,94 @@ pub fn generate_fanout_workload(
     Ok(queries)
 }
 
+/// Parameters of a streamed edge-batch feed (live-graph ingestion).
+///
+/// The serving-side counterpart of the query workloads above: a live
+/// deployment does not rebuild its graph from scratch, it appends batches
+/// of freshly observed edges (`QueryEngine::ingest`, the server's `ingest`
+/// verb) and every batch advances the graph epoch. This config shapes such
+/// a feed — `batches` ingestions of `edges_per_batch` edges each, with
+/// timestamps advancing by `time_step` per batch so later batches land in
+/// later regions of the time domain (the arrival order a real event stream
+/// has).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EdgeStreamConfig {
+    /// Number of edge batches to emit (one ingestion / epoch bump each).
+    pub batches: usize,
+    /// Edges per batch; every edge picks a random `src != dst` pair among
+    /// the graph's existing vertices, so the stream densifies the graph
+    /// rather than growing its vertex range.
+    pub edges_per_batch: usize,
+    /// Timestamp of the first batch.
+    pub start_time: i64,
+    /// Forward shift of the timestamp base between consecutive batches.
+    /// Within a batch, edge times are jittered uniformly inside
+    /// `[base, base + time_step)`; non-positive steps are clamped to 0
+    /// (every edge of every batch lands exactly at `start_time`).
+    pub time_step: i64,
+}
+
+impl EdgeStreamConfig {
+    /// A stream of `batches` batches of `edges_per_batch` edges starting at
+    /// `start_time`, advancing one timestamp per batch.
+    pub fn new(batches: usize, edges_per_batch: usize, start_time: i64) -> Self {
+        Self { batches, edges_per_batch, start_time, time_step: 1 }
+    }
+
+    /// The same stream with a different per-batch timestamp shift.
+    pub fn with_time_step(mut self, time_step: i64) -> Self {
+        self.time_step = time_step;
+        self
+    }
+}
+
+/// Generates a streamed edge-batch feed (see [`EdgeStreamConfig`]),
+/// deterministic in `seed`.
+///
+/// Batch `b`'s timestamps live in `[start_time + b·step, start_time +
+/// (b+1)·step)`, so batches arrive in time order even though edges inside a
+/// batch are unsorted — exactly the input contract of
+/// `TemporalGraph::extend_with_edges`, which re-normalizes on append.
+/// Duplicate edges across batches are possible and deliberate (a duplicate
+/// batch still bumps the epoch).
+///
+/// Errors with [`WorkloadError::EmptyGraph`] when the graph has no edges or
+/// fewer than two vertices (no `src != dst` pair exists to sample). A
+/// stream of zero batches — or of zero-edge batches — is trivially
+/// satisfiable and returns `batches` empty batches.
+pub fn generate_edge_stream(
+    graph: &TemporalGraph,
+    config: &EdgeStreamConfig,
+    seed: u64,
+) -> Result<Vec<Vec<TemporalEdge>>, WorkloadError> {
+    if config.batches == 0 || config.edges_per_batch == 0 {
+        return Ok(vec![Vec::new(); config.batches]);
+    }
+    if graph.is_empty() || graph.num_vertices() < 2 {
+        return Err(WorkloadError::EmptyGraph);
+    }
+    let n = graph.num_vertices();
+    let step = config.time_step.max(0);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xed9e_57e4_6e0d_feed);
+    let mut stream = Vec::with_capacity(config.batches);
+    for b in 0..config.batches {
+        let base = config.start_time.saturating_add(step.saturating_mul(b as i64));
+        let mut batch = Vec::with_capacity(config.edges_per_batch);
+        for _ in 0..config.edges_per_batch {
+            let src = rng.random_range(0..n);
+            // Uniform over the n-1 vertices other than src.
+            let mut dst = rng.random_range(0..n - 1);
+            if dst >= src {
+                dst += 1;
+            }
+            let time = if step > 1 { base.saturating_add(rng.random_range(0..step)) } else { base };
+            batch.push(TemporalEdge::new(src as VertexId, dst as VertexId, time));
+        }
+        stream.push(batch);
+    }
+    Ok(stream)
+}
+
 /// Convenience wrapper: a deterministic workload over `graph`.
 pub fn generate_workload(
     graph: &TemporalGraph,
@@ -888,6 +976,57 @@ mod tests {
             generate_fanout_workload(&g, &FanoutWorkloadConfig::new(0, 2, 6), 0),
             Ok(Vec::new())
         );
+    }
+
+    #[test]
+    fn edge_stream_batches_advance_in_time_and_stay_in_range() {
+        let g = GraphGenerator::uniform(40, 300, 20).generate(3);
+        let cfg = EdgeStreamConfig::new(5, 8, 25).with_time_step(4);
+        let stream = generate_edge_stream(&g, &cfg, 7).unwrap();
+        assert_eq!(stream, generate_edge_stream(&g, &cfg, 7).unwrap(), "deterministic in seed");
+        assert_ne!(stream, generate_edge_stream(&g, &cfg, 8).unwrap());
+        assert_eq!(stream.len(), 5);
+        for (b, batch) in stream.iter().enumerate() {
+            assert_eq!(batch.len(), 8);
+            let base = 25 + 4 * b as i64;
+            for e in batch {
+                assert_ne!(e.src, e.dst);
+                assert!((e.src as usize) < g.num_vertices(), "{e:?}");
+                assert!((e.dst as usize) < g.num_vertices(), "{e:?}");
+                assert!(e.time >= base && e.time < base + 4, "{e:?} outside batch {b}'s slot");
+            }
+        }
+        // Ingesting the whole stream matches the one-shot build of the union.
+        let mut live = g.clone();
+        let mut all = g.edges().to_vec();
+        for batch in &stream {
+            live.extend_with_edges(batch);
+            all.extend_from_slice(batch);
+        }
+        let fresh = TemporalGraph::from_edges(g.num_vertices(), all);
+        assert_eq!(live.edges(), fresh.edges());
+        assert_eq!(live.epoch().value(), 5);
+    }
+
+    #[test]
+    fn edge_stream_validates_its_config() {
+        let cfg = EdgeStreamConfig::new(3, 4, 0);
+        assert_eq!(
+            generate_edge_stream(&TemporalGraph::empty(5), &cfg, 0),
+            Err(WorkloadError::EmptyGraph)
+        );
+        let one_vertex = TemporalGraph::from_edges(1, vec![tspg_graph::TemporalEdge::new(0, 0, 1)]);
+        assert_eq!(generate_edge_stream(&one_vertex, &cfg, 0), Err(WorkloadError::EmptyGraph));
+        let g = figure1_graph();
+        assert_eq!(generate_edge_stream(&g, &EdgeStreamConfig::new(0, 4, 0), 0), Ok(Vec::new()));
+        assert_eq!(
+            generate_edge_stream(&g, &EdgeStreamConfig::new(2, 0, 0), 0),
+            Ok(vec![Vec::new(), Vec::new()])
+        );
+        // A non-positive step clamps: every edge lands at start_time.
+        let flat = generate_edge_stream(&g, &EdgeStreamConfig::new(3, 2, 9).with_time_step(-2), 1)
+            .unwrap();
+        assert!(flat.iter().flatten().all(|e| e.time == 9));
     }
 
     #[test]

@@ -24,11 +24,56 @@ pub struct AdjEntry {
     pub edge: EdgeId,
 }
 
+/// Version number of a [`TemporalGraph`] under streaming mutation.
+///
+/// A freshly built graph is at epoch 0; every
+/// [`TemporalGraph::extend_with_edges`] call advances the epoch by one,
+/// whether or not the batch contributed a new edge (callers key caches by
+/// epoch, and a conservative bump is always sound where a missed one is
+/// not). Epochs are totally ordered and never reused, so any state derived
+/// from the graph — cached results, resident arrival profiles, published
+/// tspGs — can be scoped to the epoch it was computed at and becomes
+/// unreachable the moment the graph moves on.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GraphEpoch(u64);
+
+impl GraphEpoch {
+    /// The epoch of every freshly constructed graph.
+    pub const ZERO: GraphEpoch = GraphEpoch(0);
+
+    /// The epoch as a plain integer (for `key=value` surfaces and cache
+    /// keys).
+    #[inline]
+    pub fn value(self) -> u64 {
+        self.0
+    }
+
+    /// The next epoch.
+    #[must_use]
+    #[inline]
+    pub fn next(self) -> GraphEpoch {
+        GraphEpoch(self.0 + 1)
+    }
+}
+
+impl std::fmt::Display for GraphEpoch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
 /// An immutable directed temporal graph.
 ///
 /// Vertices are the dense range `0..num_vertices`; a vertex may be isolated.
 /// Edges are stored sorted by `(time, src, dst)` and exact duplicates are
 /// removed at construction time (the paper treats `E` as a set).
+///
+/// "Immutable" describes the query surface, not the storage: the streaming
+/// ingestion path ([`TemporalGraph::extend_with_edges`]) appends a
+/// timestamped edge batch and re-normalizes in place, leaving the graph
+/// indistinguishable from a from-scratch [`TemporalGraph::from_edges`]
+/// build over the union edge set — and advances the [`GraphEpoch`] so
+/// derived state can tell the two versions apart.
 #[derive(Clone, Debug, Default)]
 pub struct TemporalGraph {
     num_vertices: usize,
@@ -37,6 +82,7 @@ pub struct TemporalGraph {
     out_entries: Vec<AdjEntry>,
     in_offsets: Vec<usize>,
     in_entries: Vec<AdjEntry>,
+    epoch: GraphEpoch,
 }
 
 impl TemporalGraph {
@@ -284,6 +330,39 @@ impl TemporalGraph {
         self.edges.clear();
         self.edges.extend_from_slice(edges);
         self.normalize_and_index(num_vertices);
+    }
+
+    /// The graph's current [`GraphEpoch`].
+    ///
+    /// Freshly built graphs (any constructor, including the in-place
+    /// `assign_*` rebuilds used for scratch reuse) are at epoch 0; only
+    /// [`TemporalGraph::extend_with_edges`] advances it.
+    #[inline]
+    pub fn epoch(&self) -> GraphEpoch {
+        self.epoch
+    }
+
+    /// Appends a timestamped edge batch and re-normalizes the graph in
+    /// place, returning the new [`GraphEpoch`].
+    ///
+    /// The batch may be unsorted, may contain duplicates (of itself or of
+    /// resident edges), and may reference vertices beyond the current
+    /// range — the same normalization as [`TemporalGraph::from_edges`]
+    /// applies, so the result is byte-identical (edge array, CSR offsets
+    /// and entries, vertex count) to a from-scratch build over the union
+    /// edge set. Existing [`EdgeId`]s are NOT stable across a call: ids are
+    /// positions in the time-sorted edge array, and new edges may land
+    /// anywhere in it.
+    ///
+    /// The epoch advances on *every* call, even when the batch turns out to
+    /// be all duplicates: callers key caches by epoch, and a spurious bump
+    /// only costs recomputation where a missed one would serve stale
+    /// answers.
+    pub fn extend_with_edges(&mut self, edges: &[TemporalEdge]) -> GraphEpoch {
+        self.edges.extend_from_slice(edges);
+        self.normalize_and_index(self.num_vertices);
+        self.epoch = self.epoch.next();
+        self.epoch
     }
 
     /// Edge-induced subgraph from a boolean mask indexed by [`EdgeId`].
@@ -547,6 +626,52 @@ mod tests {
         assert_eq!(reused.num_vertices(), 3);
         reused.assign_from_edges(1, &[TemporalEdge::new(4, 2, 1)]);
         assert_eq!(reused.num_vertices(), 5, "vertex range grows to cover the edges");
+    }
+
+    #[test]
+    fn extend_with_edges_matches_from_scratch_build() {
+        let g = figure1_graph();
+        // Start from a prefix of the figure-1 edges, then stream the rest in
+        // two unsorted batches with duplicates; the result must be
+        // indistinguishable from the one-shot build.
+        let all: Vec<TemporalEdge> = g.edges().to_vec();
+        let mut streamed = TemporalGraph::from_edges(8, all[..5].to_vec());
+        assert_eq!(streamed.epoch(), GraphEpoch::ZERO);
+
+        let mut batch1: Vec<TemporalEdge> = all[5..9].to_vec();
+        batch1.reverse();
+        batch1.push(all[2]); // duplicate of a resident edge
+        let e1 = streamed.extend_with_edges(&batch1);
+        assert_eq!(e1.value(), 1);
+        assert_eq!(streamed.epoch(), e1);
+
+        let mut batch2: Vec<TemporalEdge> = all[9..].to_vec();
+        batch2.push(batch2[0]); // duplicate inside the batch
+        batch2.swap(0, 1);
+        let e2 = streamed.extend_with_edges(&batch2);
+        assert_eq!(e2.value(), 2);
+
+        assert_eq!(streamed.num_vertices(), g.num_vertices());
+        assert_eq!(streamed.edges(), g.edges());
+        for u in g.vertices() {
+            assert_eq!(streamed.out_neighbors(u), g.out_neighbors(u));
+            assert_eq!(streamed.in_neighbors(u), g.in_neighbors(u));
+        }
+    }
+
+    #[test]
+    fn extend_with_edges_bumps_epoch_even_for_duplicate_batches() {
+        let mut g = figure1_graph();
+        let before = g.num_edges();
+        let dup = [g.edge(0)];
+        let e = g.extend_with_edges(&dup);
+        assert_eq!(e.value(), 1, "all-duplicate batches still advance the epoch");
+        assert_eq!(g.num_edges(), before);
+        // A batch that grows the vertex range is normalized like from_edges.
+        let e = g.extend_with_edges(&[TemporalEdge::new(11, 3, 1)]);
+        assert_eq!(e.value(), 2);
+        assert_eq!(g.num_vertices(), 12);
+        assert_eq!(g.edges()[0], TemporalEdge::new(11, 3, 1), "new earliest edge sorts first");
     }
 
     #[test]

@@ -15,7 +15,9 @@
 //!   `θ = τ_e − τ_b + 1`.
 //! * [`TemporalGraph`] — immutable CSR-style storage with in/out adjacency
 //!   sorted by timestamp, plus a global edge list sorted by timestamp (the
-//!   access patterns required by the VUG algorithms).
+//!   access patterns required by the VUG algorithms), plus a streaming
+//!   append path ([`TemporalGraph::extend_with_edges`]) versioned by
+//!   [`GraphEpoch`].
 //! * [`TemporalGraphBuilder`] — incremental construction with de-duplication.
 //! * [`EdgeSet`] / subgraph helpers — canonical edge-set representation used
 //!   for upper-bound graphs and for the final temporal simple path graph.
@@ -57,7 +59,7 @@ pub mod types;
 pub use builder::TemporalGraphBuilder;
 pub use edgeset::EdgeSet;
 pub use error::GraphError;
-pub use graph::{AdjEntry, TemporalGraph};
+pub use graph::{AdjEntry, GraphEpoch, TemporalGraph};
 pub use interval::TimeInterval;
 pub use query::Query;
 pub use stats::GraphStats;

@@ -56,10 +56,11 @@ use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use tspg_core::{BatchStats, QueryEngine, QuerySpec};
+use tspg_graph::TemporalEdge;
 
 /// Admission and fairness knobs of a [`Server`].
 #[derive(Clone, Copy, Debug)]
@@ -110,10 +111,39 @@ pub struct ServerReport {
 }
 
 /// One request parked in the admission queue.
-struct Pending {
+///
+/// Queries and ingests share one FIFO queue so a client that pipelines
+/// `query … ingest … query …` observes its own mutations in order; the
+/// dispatcher drains the queue in *homogeneous runs* (see
+/// [`collect_batch`]), which is what makes "a batch never straddles an
+/// epoch" true: every query of a batch runs against the graph exactly as
+/// it stood when the batch was collected.
+enum Pending {
+    Query(PendingQuery),
+    Ingest(PendingIngest),
+}
+
+impl Pending {
+    fn enqueued(&self) -> Instant {
+        match self {
+            Pending::Query(p) => p.enqueued,
+            Pending::Ingest(p) => p.enqueued,
+        }
+    }
+}
+
+/// One query awaiting admission.
+struct PendingQuery {
     client: Arc<ClientSlot>,
     id: u64,
     query: QuerySpec,
+    enqueued: Instant,
+}
+
+/// One edge batch awaiting application at the next batch boundary.
+struct PendingIngest {
+    client: Arc<ClientSlot>,
+    edges: Vec<TemporalEdge>,
     enqueued: Instant,
 }
 
@@ -171,11 +201,17 @@ struct Counters {
     empty_wakeups: AtomicU64,
     clients_accepted: AtomicU64,
     clients_gone: AtomicU64,
+    ingest_batches: AtomicU64,
+    ingest_edges: AtomicU64,
 }
 
 /// State shared by the acceptor, the readers and the dispatcher.
 struct Shared {
-    engine: QueryEngine,
+    /// The live engine. Query batches and stats snapshots take the read
+    /// half; only the dispatcher's ingest application takes the write
+    /// half, so queries never observe a graph mid-mutation. Never acquired
+    /// while holding the admission lock ([`collect_batch`] returns first).
+    engine: RwLock<QueryEngine>,
     config: ServerConfig,
     path: PathBuf,
     admission: Mutex<VecDeque<Pending>>,
@@ -232,20 +268,25 @@ impl Shared {
         push("empty_wakeups", c.empty_wakeups.load(Ordering::Relaxed));
         push("clients_accepted", c.clients_accepted.load(Ordering::Relaxed));
         push("clients_gone", c.clients_gone.load(Ordering::Relaxed));
+        push("ingest_batches", c.ingest_batches.load(Ordering::Relaxed));
+        push("ingest_edges", c.ingest_edges.load(Ordering::Relaxed));
         let totals = *self.totals.lock().unwrap_or_else(PoisonError::into_inner);
         for (key, value) in totals.key_values() {
             push(key, value);
         }
-        if let Some(cache) = self.engine.cache_stats() {
+        let engine = self.engine.read().unwrap_or_else(PoisonError::into_inner);
+        push("epoch", engine.epoch().value());
+        if let Some(cache) = engine.cache_stats() {
             for (key, value) in cache.key_values() {
                 push(key, value);
             }
         }
-        if let Some(profiles) = self.engine.profile_cache_stats() {
+        if let Some(profiles) = engine.profile_cache_stats() {
             for (key, value) in profiles.key_values() {
                 push(key, value);
             }
         }
+        drop(engine);
         out.push_str("end");
         out
     }
@@ -307,7 +348,7 @@ impl Server {
             threads: config.threads.max(1),
         };
         let shared = Arc::new(Shared {
-            engine,
+            engine: RwLock::new(engine),
             config,
             path: path.clone(),
             admission: Mutex::new(VecDeque::new()),
@@ -453,14 +494,42 @@ fn reader_loop(shared: &Arc<Shared>, slot: &Arc<ClientSlot>, stream: UnixStream)
                     continue;
                 }
                 slot.in_flight.fetch_add(1, Ordering::AcqRel);
-                let pending =
-                    Pending { client: Arc::clone(slot), id, query, enqueued: Instant::now() };
+                let pending = Pending::Query(PendingQuery {
+                    client: Arc::clone(slot),
+                    id,
+                    query,
+                    enqueued: Instant::now(),
+                });
                 let mut queue = shared.admission.lock().unwrap_or_else(PoisonError::into_inner);
                 queue.push_back(pending);
                 // Notify while still holding the admission lock (see
                 // `begin_shutdown`): dropping the guard first would let
                 // the dispatcher check its predicate and park between our
                 // push and this wakeup, losing the notification.
+                shared.admit_cv.notify_all();
+            }
+            Ok(protocol::Request::Ingest { edges }) => {
+                // Ingests ride the same FIFO queue and the same quota as
+                // queries: a pipelined mutation is "in flight" until its
+                // acknowledgement is written, and a greedy feeder must not
+                // starve the admission queue either.
+                if slot.in_flight.load(Ordering::Acquire) >= shared.config.quota {
+                    shared.counters.quota_rejections.fetch_add(1, Ordering::Relaxed);
+                    slot.write_line(&protocol::format_error(
+                        None,
+                        &format!("quota exceeded ({} requests in flight)", shared.config.quota),
+                    ));
+                    continue;
+                }
+                slot.in_flight.fetch_add(1, Ordering::AcqRel);
+                let pending = Pending::Ingest(PendingIngest {
+                    client: Arc::clone(slot),
+                    edges,
+                    enqueued: Instant::now(),
+                });
+                let mut queue = shared.admission.lock().unwrap_or_else(PoisonError::into_inner);
+                queue.push_back(pending);
+                // Notify under the admission lock; see the Query arm.
                 shared.admit_cv.notify_all();
             }
             Ok(protocol::Request::Stats) => {
@@ -490,11 +559,26 @@ fn reader_loop(shared: &Arc<Shared>, slot: &Arc<ClientSlot>, stream: UnixStream)
     }
 }
 
-/// Dispatcher loop: wait for the size or timer trigger, drain a batch,
-/// run it through the engine, stream the answers back.
+/// One homogeneous run drained from the admission queue: either a query
+/// batch for the engine or a run of edge-batch mutations to apply at this
+/// batch boundary.
+enum Collected {
+    Queries(Vec<PendingQuery>),
+    Ingests(Vec<PendingIngest>),
+}
+
+/// Dispatcher loop: wait for a flush trigger, drain a homogeneous run,
+/// run queries through the engine (read lock) or apply mutations (write
+/// lock), stream the answers back.
 fn dispatcher_loop(shared: &Arc<Shared>) {
     loop {
-        let batch = collect_batch(shared);
+        let batch = match collect_batch(shared) {
+            Collected::Ingests(batch) => {
+                apply_ingests(shared, batch);
+                continue;
+            }
+            Collected::Queries(batch) => batch,
+        };
         if batch.is_empty() {
             if shared.shutdown.load(Ordering::SeqCst) {
                 break;
@@ -502,7 +586,11 @@ fn dispatcher_loop(shared: &Arc<Shared>) {
             continue;
         }
         let queries: Vec<QuerySpec> = batch.iter().map(|p| p.query).collect();
-        let (results, stats) = shared.engine.run_batch_with_stats(&queries, shared.config.threads);
+        // Hold the read lock across the whole batch: the graph every query
+        // of this batch sees is the one collect_batch's boundary admitted.
+        let engine = shared.engine.read().unwrap_or_else(PoisonError::into_inner);
+        let (results, stats) = engine.run_batch_with_stats(&queries, shared.config.threads);
+        drop(engine);
         shared.totals.lock().unwrap_or_else(PoisonError::into_inner).merge(&stats);
         // relaxed: serving counters are statistics only (see `stats_text`).
         shared.counters.batches.fetch_add(1, Ordering::Relaxed);
@@ -524,31 +612,84 @@ fn dispatcher_loop(shared: &Arc<Shared>) {
     }
 }
 
-/// Blocks until a flush trigger fires, then drains up to `admit_max`
-/// requests (everything, during shutdown). May return an empty batch —
-/// the idle timer firing with nothing pending, or a shutdown wake-up —
-/// which the dispatcher treats as a no-op.
-fn collect_batch(shared: &Arc<Shared>) -> Vec<Pending> {
+/// Applies a run of pending edge batches under the engine write lock, then
+/// writes the acknowledgements with the lock released (a slow client write
+/// must not stall queries behind the mutation).
+fn apply_ingests(shared: &Arc<Shared>, batch: Vec<PendingIngest>) {
+    let mut acks: Vec<(Arc<ClientSlot>, u64, u64)> = Vec::with_capacity(batch.len());
+    {
+        let mut engine = shared.engine.write().unwrap_or_else(PoisonError::into_inner);
+        for pending in batch {
+            let epoch = engine.ingest(&pending.edges);
+            // relaxed: serving counters are statistics only (see
+            // `stats_text`).
+            shared.counters.ingest_batches.fetch_add(1, Ordering::Relaxed);
+            shared.counters.ingest_edges.fetch_add(pending.edges.len() as u64, Ordering::Relaxed);
+            acks.push((pending.client, epoch.value(), pending.edges.len() as u64));
+        }
+    }
+    for (client, epoch, edges) in acks {
+        client.in_flight.fetch_sub(1, Ordering::AcqRel);
+        if client.gone.load(Ordering::Acquire)
+            || !client.write_line(&protocol::format_ingested(epoch, edges))
+        {
+            // relaxed: serving counters are statistics only (see
+            // `stats_text`).
+            shared.counters.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Blocks until a flush trigger fires, then drains one homogeneous run
+/// from the queue front: consecutive ingests are returned immediately
+/// (each mutation run is its own batch boundary), consecutive queries once
+/// the size or timer trigger fires — or at once when an ingest is queued
+/// behind them, since the mutation cannot apply until the queries ahead of
+/// it have run. May return an empty query batch — the idle timer firing
+/// with nothing pending, or a shutdown wake-up — which the dispatcher
+/// treats as a no-op.
+///
+/// During shutdown the queue still drains in homogeneous runs (not one
+/// final mixed batch): queries accepted before a pending mutation must run
+/// against the pre-mutation graph.
+fn collect_batch(shared: &Arc<Shared>) -> Collected {
     let config = &shared.config;
     // relaxed: flush-trigger tallies are statistics only (see `stats_text`).
     let mut queue = shared.admission.lock().unwrap_or_else(PoisonError::into_inner);
     loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            // Drain everything in one final batch so every accepted
-            // request is answered before the socket goes away.
-            return queue.drain(..).collect();
+        let shutting_down = shared.shutdown.load(Ordering::SeqCst);
+        if matches!(queue.front(), Some(Pending::Ingest(_))) {
+            let mut batch = Vec::new();
+            while matches!(queue.front(), Some(Pending::Ingest(_))) {
+                if let Some(Pending::Ingest(ingest)) = queue.pop_front() {
+                    batch.push(ingest);
+                }
+            }
+            return Collected::Ingests(batch);
+        }
+        // The front run is all queries (possibly the whole queue).
+        let run = queue.iter().take_while(|p| matches!(p, Pending::Query(_))).count();
+        let boundary_behind = run < queue.len();
+        if shutting_down {
+            // Drain the whole front run so every accepted request is
+            // answered before the socket goes away (the loop comes back
+            // for whatever sits behind the boundary).
+            let batch = drain_queries(&mut queue, run);
+            return Collected::Queries(batch);
         }
         match queue.front() {
             Some(front) => {
-                let age = front.enqueued.elapsed();
-                if queue.len() >= config.admit_max || age >= config.admit_window {
-                    if queue.len() >= config.admit_max {
+                let age = front.enqueued().elapsed();
+                if run >= config.admit_max || boundary_behind || age >= config.admit_window {
+                    if run >= config.admit_max || boundary_behind {
+                        // An ingest waiting behind the run counts as a size
+                        // flush: the boundary, not the timer, forced it.
                         shared.counters.size_flushes.fetch_add(1, Ordering::Relaxed);
                     } else {
                         shared.counters.timer_flushes.fetch_add(1, Ordering::Relaxed);
                     }
-                    let take = queue.len().min(config.admit_max);
-                    return queue.drain(..take).collect();
+                    let take = run.min(config.admit_max);
+                    return Collected::Queries(drain_queries(&mut queue, take));
                 }
                 let remaining = config.admit_window - age;
                 let (guard, _) = shared
@@ -571,6 +712,19 @@ fn collect_batch(shared: &Arc<Shared>) -> Vec<Pending> {
             }
         }
     }
+}
+
+/// Drains up to `take` consecutive queries from the queue front, stopping
+/// at the first non-query entry (the caller has already verified the front
+/// run is at least `take` queries long, so this drains exactly `take`).
+fn drain_queries(queue: &mut VecDeque<Pending>, take: usize) -> Vec<PendingQuery> {
+    let mut batch = Vec::with_capacity(take);
+    while batch.len() < take && matches!(queue.front(), Some(Pending::Query(_))) {
+        if let Some(Pending::Query(query)) = queue.pop_front() {
+            batch.push(query);
+        }
+    }
+    batch
 }
 
 #[cfg(test)]
@@ -673,6 +827,45 @@ mod tests {
         };
         assert_eq!(err.kind(), std::io::ErrorKind::AddrInUse);
         handle.shutdown();
+        handle.join();
+    }
+
+    #[test]
+    fn ingest_applies_at_a_batch_boundary_and_bumps_the_epoch() {
+        let path = temp_socket("lib_ingest");
+        let config = ServerConfig {
+            admit_max: 4,
+            admit_window: Duration::from_millis(1),
+            ..ServerConfig::default()
+        };
+        let handle = Server::bind(QueryEngine::new(figure1_graph()), &path, config).unwrap();
+        let (s, t, w) = figure1_query();
+        let (mut reader, mut stream) = connect(&path);
+
+        send(&mut stream, &protocol::format_query(0, &QuerySpec::new(s, t, w)));
+        let reply = protocol::parse_response(&read_line(&mut reader)).unwrap();
+        let protocol::Response::Result(before) = reply else { panic!("{reply:?}") };
+
+        // A direct s→t edge inside the window always joins the tspG, so the
+        // re-queried answer is guaranteed to change.
+        let delta = [tspg_graph::TemporalEdge::new(s, t, 5)];
+        send(&mut stream, &protocol::format_ingest(&delta));
+        let reply = protocol::parse_response(&read_line(&mut reader)).unwrap();
+        assert_eq!(reply, protocol::Response::Ingested { epoch: 1, edges: 1 });
+
+        send(&mut stream, &protocol::format_query(1, &QuerySpec::new(s, t, w)));
+        let reply = protocol::parse_response(&read_line(&mut reader)).unwrap();
+        let protocol::Response::Result(after) = reply else { panic!("{reply:?}") };
+        assert_ne!(before.edges, after.edges, "the ingested edge must change the answer");
+        assert!(after.edges.contains(&delta[0]));
+
+        let stats = handle.stats_text();
+        assert!(stats.contains("epoch=1"), "{stats}");
+        assert!(stats.contains("ingest_batches=1"), "{stats}");
+        assert!(stats.contains("ingest_edges=1"), "{stats}");
+
+        send(&mut stream, "shutdown");
+        assert_eq!(read_line(&mut reader), "bye");
         handle.join();
     }
 

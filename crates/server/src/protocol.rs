@@ -7,9 +7,11 @@
 //!
 //! ```text
 //! request  := "query" SP id SP source SP target SP begin SP end
+//!           | "ingest" SP src SP dst SP time {SP src SP dst SP time}
 //!           | "stats" | "ping" | "shutdown"
 //! response := "result" SP id SP "edges=" E SP "vertices=" V SP "ns=" NS
 //!                      {SP src "," dst "," time}
+//!           | "ingested" SP "epoch=" E SP "edges=" N
 //!           | "error" SP (id | "-") SP message
 //!           | "pong" | "bye"
 //! ```
@@ -19,9 +21,13 @@
 //! quota) and match answers as they stream back. A `result` line carries
 //! the full tspG as `src,dst,time` triples in the engine's canonical edge
 //! order — byte-identity against a local [`tspg_core::QueryEngine`] run is
-//! checked by comparing the triples, nothing weaker. The `stats` verb is
-//! answered with `key=value` lines terminated by a bare `end` line (not
-//! modelled here; see the crate docs for the key glossary).
+//! checked by comparing the triples, nothing weaker. An `ingest` line
+//! carries one or more whitespace-separated edge triples to append to the
+//! live graph; the dispatcher applies it between query batches (a batch
+//! never straddles an epoch) and acknowledges with the post-ingest graph
+//! epoch and the number of submitted triples. The `stats` verb is answered
+//! with `key=value` lines terminated by a bare `end` line (not modelled
+//! here; see the crate docs for the key glossary).
 
 use std::fmt::Write as _;
 use tspg_core::{QuerySpec, VugResult};
@@ -37,6 +43,13 @@ pub enum Request {
         id: u64,
         /// The query quadruple, in canonical form.
         query: QuerySpec,
+    },
+    /// `ingest <src> <dst> <time> ...` — append a timestamped edge batch
+    /// to the live graph at the next batch boundary.
+    Ingest {
+        /// The submitted edge batch, in submission order (the graph
+        /// normalizes on append; order does not matter).
+        edges: Vec<TemporalEdge>,
     },
     /// `stats` — dump the server's counters as `key=value` lines.
     Stats,
@@ -59,11 +72,41 @@ pub fn parse_request(line: &str) -> Result<Request, (Option<u64>, String)> {
         "stats" => Ok(Request::Stats),
         "ping" => Ok(Request::Ping),
         "shutdown" => Ok(Request::Shutdown),
+        "ingest" => {
+            let raw: Vec<&str> = fields.collect();
+            if raw.is_empty() {
+                return Err((None, "ingest needs at least one src dst time triple".to_string()));
+            }
+            if !raw.len().is_multiple_of(3) {
+                return Err((
+                    None,
+                    format!("ingest carries {} fields, not a multiple of 3", raw.len()),
+                ));
+            }
+            let mut edges = Vec::with_capacity(raw.len() / 3);
+            for triple in raw.chunks_exact(3) {
+                let part = |what: &str, raw: &str| -> Result<i64, (Option<u64>, String)> {
+                    raw.parse().map_err(|_| (None, format!("invalid {what} {raw:?}")))
+                };
+                let src = part("source vertex", triple[0])?;
+                let dst = part("target vertex", triple[1])?;
+                let time = part("timestamp", triple[2])?;
+                let (Ok(src), Ok(dst)) = (u32::try_from(src), u32::try_from(dst)) else {
+                    return Err((None, "vertex ids must be non-negative u32".to_string()));
+                };
+                edges.push(TemporalEdge::new(src, dst, time));
+            }
+            Ok(Request::Ingest { edges })
+        }
         "query" => {
-            let id: u64 = fields
-                .next()
-                .and_then(|f| f.parse().ok())
-                .ok_or_else(|| (None, "query needs a numeric request id".to_string()))?;
+            let id: u64 = match fields.next() {
+                Some(raw) => raw.parse().map_err(|_| {
+                    // Echo the raw token: the reply can't be tagged, so the
+                    // message itself is the client's only correlation handle.
+                    (None, format!("invalid request id {raw:?} (must be a u64)"))
+                })?,
+                None => return Err((None, "query needs a numeric request id".to_string())),
+            };
             let mut field = |what: &str| -> Result<i64, (Option<u64>, String)> {
                 let raw = fields.next().ok_or_else(|| (Some(id), format!("missing {what}")))?;
                 raw.parse().map_err(|_| (Some(id), format!("invalid {what} {raw:?}")))
@@ -99,11 +142,30 @@ pub fn format_query(id: u64, query: &QuerySpec) -> String {
     )
 }
 
+/// Formats one `ingest` request line (the client side of
+/// [`parse_request`]).
+pub fn format_ingest(edges: &[TemporalEdge]) -> String {
+    let mut line = "ingest".to_string();
+    for e in edges {
+        let _ = write!(line, " {} {} {}", e.src, e.dst, e.time);
+    }
+    line
+}
+
 /// A parsed server response line.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Response {
     /// A query's answer: the tspG shipped as edge triples.
     Result(ResultPayload),
+    /// Acknowledgement of an `ingest`: the batch was applied at a batch
+    /// boundary and the graph now sits at `epoch`.
+    Ingested {
+        /// The graph epoch after applying the batch.
+        epoch: u64,
+        /// Number of edge triples the request submitted (duplicates
+        /// included; the graph de-duplicates on append).
+        edges: u64,
+    },
     /// An error reply, tagged with the request id when the offending line
     /// carried a parseable one.
     Error {
@@ -148,6 +210,11 @@ pub fn format_result(id: u64, result: &VugResult) -> String {
     line
 }
 
+/// Formats one `ingested` acknowledgement line.
+pub fn format_ingested(epoch: u64, edges: u64) -> String {
+    format!("ingested epoch={epoch} edges={edges}")
+}
+
 /// Formats an `error` response line; `id = None` renders the `-` tag.
 pub fn format_error(id: Option<u64>, message: &str) -> String {
     match id {
@@ -163,6 +230,21 @@ pub fn parse_response(line: &str) -> Result<Response, String> {
     match fields.next().ok_or_else(|| "empty response".to_string())? {
         "pong" => Ok(Response::Pong),
         "bye" => Ok(Response::Bye),
+        "ingested" => {
+            let mut kv = |key: &str| -> Result<u64, String> {
+                let raw = fields.next().ok_or_else(|| format!("ingested missing {key}="))?;
+                raw.strip_prefix(key)
+                    .and_then(|r| r.strip_prefix('='))
+                    .and_then(|r| r.parse().ok())
+                    .ok_or_else(|| format!("bad ingested field {raw:?} (expected {key}=N)"))
+            };
+            let epoch = kv("epoch")?;
+            let edges = kv("edges")?;
+            if let Some(extra) = fields.next() {
+                return Err(format!("ingested line has trailing field {extra:?}"));
+            }
+            Ok(Response::Ingested { epoch, edges })
+        }
         "error" => {
             let tag = fields.next().ok_or_else(|| "error line without id tag".to_string())?;
             let id = if tag == "-" {
@@ -255,6 +337,49 @@ mod tests {
         assert_eq!(parse_request("query 7 1 2 3 4 5").unwrap_err().0, Some(7));
         assert_eq!(parse_request("query 7 1 2 9 3").unwrap_err().0, Some(7));
         assert_eq!(parse_request("query 7 -1 2 3 4").unwrap_err().0, Some(7));
+    }
+
+    #[test]
+    fn unparseable_request_id_is_echoed_in_the_message() {
+        // The error reply can't be tagged (there is no valid id), so the
+        // raw token in the message is the client's only correlation handle.
+        let (id, message) = parse_request("query nope 1 2 3 4").unwrap_err();
+        assert_eq!(id, None);
+        assert!(message.contains("\"nope\""), "raw token must be echoed: {message:?}");
+        let (_, message) = parse_request("query 18446744073709551616 1 2 3 4").unwrap_err();
+        assert!(message.contains("18446744073709551616"), "overflowing id echoed: {message:?}");
+    }
+
+    #[test]
+    fn ingest_request_round_trip() {
+        let edges = vec![
+            TemporalEdge::new(0, 7, 5),
+            TemporalEdge::new(3, 2, 1),
+            TemporalEdge::new(0, 7, 5),
+        ];
+        let line = format_ingest(&edges);
+        assert_eq!(line, "ingest 0 7 5 3 2 1 0 7 5");
+        assert_eq!(parse_request(&line), Ok(Request::Ingest { edges }));
+    }
+
+    #[test]
+    fn malformed_ingest_requests_are_rejected() {
+        assert_eq!(parse_request("ingest").unwrap_err().0, None);
+        assert!(parse_request("ingest 1 2").unwrap_err().1.contains("multiple of 3"));
+        assert!(parse_request("ingest 1 2 3 4").unwrap_err().1.contains("multiple of 3"));
+        assert!(parse_request("ingest 1 nope 3").unwrap_err().1.contains("\"nope\""));
+        assert!(parse_request("ingest -1 2 3").unwrap_err().1.contains("non-negative"));
+        assert!(parse_request("ingest 1 2 x").unwrap_err().1.contains("timestamp"));
+    }
+
+    #[test]
+    fn ingested_response_round_trip() {
+        let line = format_ingested(3, 12);
+        assert_eq!(line, "ingested epoch=3 edges=12");
+        assert_eq!(parse_response(&line).unwrap(), Response::Ingested { epoch: 3, edges: 12 });
+        assert!(parse_response("ingested epoch=3").is_err());
+        assert!(parse_response("ingested epoch=3 edges=1 junk").is_err());
+        assert!(parse_response("ingested edges=1 epoch=3").is_err());
     }
 
     #[test]

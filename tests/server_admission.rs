@@ -209,6 +209,74 @@ fn client_disconnect_mid_batch_drops_its_answers_without_poisoning_the_dispatche
     assert_eq!(report.totals.queries, 4, "dropped answers are still computed");
 }
 
+/// The `ingest` verb end to end: a query, an answer-changing edge batch,
+/// and a re-query through one pipelined connection. The second answer must
+/// reflect the mutation (and match a fresh engine over the union edge
+/// set), and the stats surface the new epoch and ingest counters.
+#[test]
+fn ingest_verb_revises_answers_and_counts_in_stats() {
+    let socket = temp_socket("ingest");
+    let graph = figure1_graph();
+    let handle =
+        Server::bind(QueryEngine::new(graph.clone()), &socket, ServerConfig::default()).unwrap();
+    let (s, t, w) = figure1_query();
+    let q = QuerySpec::new(s, t, w);
+    let (mut reader, mut stream) = connect(&socket);
+
+    send(&mut stream, &protocol::format_query(0, &q));
+    let reply = protocol::parse_response(&read_line(&mut reader)).unwrap();
+    let protocol::Response::Result(before) = reply else { panic!("{reply:?}") };
+    assert_eq!(before.edges.len(), 4);
+
+    // A direct s -> t edge inside the window always joins the tspG.
+    let delta = [TemporalEdge::new(s, t, 5)];
+    send(&mut stream, &protocol::format_ingest(&delta));
+    let reply = protocol::parse_response(&read_line(&mut reader)).unwrap();
+    assert_eq!(reply, protocol::Response::Ingested { epoch: 1, edges: 1 });
+
+    send(&mut stream, &protocol::format_query(1, &q));
+    let reply = protocol::parse_response(&read_line(&mut reader)).unwrap();
+    let protocol::Response::Result(after) = reply else { panic!("{reply:?}") };
+    assert_ne!(before.edges, after.edges, "the ingested edge must change the answer");
+    let fresh_graph = {
+        let mut edges = graph.edges().to_vec();
+        edges.extend_from_slice(&delta);
+        TemporalGraph::from_edges(graph.num_vertices(), edges)
+    };
+    let want = sequential_results(&fresh_graph, &[q]);
+    assert_eq!(after.edges, want[0].tspg.edges(), "post-ingest answer must match a fresh engine");
+
+    let stats = handle.stats_text();
+    assert_eq!(stat(&stats, "epoch"), 1, "{stats}");
+    assert_eq!(stat(&stats, "ingest_batches"), 1, "{stats}");
+    assert_eq!(stat(&stats, "ingest_edges"), 1, "{stats}");
+
+    handle.shutdown();
+    let report = handle.join();
+    assert_eq!(report.responses, 2, "ingest acks are not counted as query responses");
+}
+
+/// Satellite regression: a request id that does not parse as a u64 is no
+/// longer collapsed into an anonymous error — the raw token is echoed in
+/// the message so the client can tell which line was rejected.
+#[test]
+fn unparseable_request_ids_echo_the_raw_token() {
+    let socket = temp_socket("badid");
+    let handle =
+        Server::bind(QueryEngine::new(figure1_graph()), &socket, ServerConfig::default()).unwrap();
+    let (mut reader, mut stream) = connect(&socket);
+
+    send(&mut stream, "query nope 0 7 2 7");
+    let reply = protocol::parse_response(&read_line(&mut reader)).unwrap();
+    let protocol::Response::Error { id, message } = reply else { panic!("{reply:?}") };
+    assert_eq!(id, None, "an unparseable id cannot tag the error");
+    assert!(message.contains("nope"), "the raw token must be echoed: {message}");
+
+    handle.shutdown();
+    let report = handle.join();
+    assert_eq!(report.malformed, 1);
+}
+
 /// The differential pin: a generated workload answered over the socket —
 /// by one client, and by four concurrent interleaving clients — must be
 /// byte-identical to the PR 2 sequential engine, query by query.
